@@ -1,0 +1,95 @@
+// Figure 12 (paper §7.3.2): layout propagation overhead on two subgraphs
+// (padding → C2D 3x3 → C2D 1x1) comparing Ansor, ALT-FP (forward-propagate
+// the first conv's output layout into the second), ALT-BP (backward: force
+// the first conv's output to the second's preferred input layout), and ALT
+// (tune both independently, inserting a conversion operator).
+//
+// Claims to reproduce: ALT beats ALT-FP and ALT-BP (independent per-op
+// layouts win), and the conversion operator's cost is small relative to the
+// convs.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace alt {
+
+struct Fig12Result {
+  double total_us = -1.0;
+  double conversion_us = 0.0;
+};
+
+Fig12Result RunVariant(const std::string& name, const graph::Graph& g,
+                       const sim::Machine& machine, int budget) {
+  Fig12Result out;
+  StatusOr<autotune::CompiledNetwork> compiled = Status::Ok();
+  if (name == "Ansor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kAnsor, g, machine, budget, 5);
+  } else {
+    autotune::TuningOptions options;
+    options.total_budget = budget;
+    options.seed = 5;
+    options.method = autotune::SearchMethod::kPpoPretrained;
+    options.pretrained_agent = &core::SharedPretrainedAgent(machine);
+    if (name == "ALT-FP") {
+      options.input_policy = autotune::InputLayoutPolicy::kInheritProducer;
+    } else if (name == "ALT-BP") {
+      options.input_policy = autotune::InputLayoutPolicy::kForceProducer;
+      options.reverse_op_order = true;
+    }
+    autotune::JointTuner tuner(g, machine, options);
+    compiled = tuner.Tune();
+  }
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "  [%s] FAILED: %s\n", name.c_str(),
+                 compiled.status().ToString().c_str());
+    return out;
+  }
+  out.total_us = compiled->perf.latency_us;
+  for (size_t i = 0; i < compiled->groups.size(); ++i) {
+    const auto& anchor = compiled->graph.op(compiled->groups[i].anchor_op);
+    if (anchor.kind == graph::OpKind::kLayoutConvert) {
+      out.conversion_us += sim::EstimateProgram(compiled->programs[i], machine).latency_us;
+    }
+  }
+  return out;
+}
+
+void RunSubgraph(int index, const sim::Machine& machine) {
+  graph::Graph g = graph::BuildFig12Subgraph(index);
+  char title[128];
+  std::snprintf(title, sizeof(title), "Fig. 12: subgraph#%d on %s", index,
+                machine.name.c_str());
+  bench::PrintHeader(title);
+  const int kBudget = 160;
+  double alt_total = -1, fp_total = -1, bp_total = -1;
+  for (const char* name : {"Ansor", "ALT-FP", "ALT-BP", "ALT"}) {
+    Fig12Result r = RunVariant(name, g, machine, kBudget);
+    std::printf("%-8s total %9.1f us", name, r.total_us);
+    if (std::string(name) == "ALT") {
+      std::printf("   (conversion op: %.1f us)", r.conversion_us);
+      alt_total = r.total_us;
+    }
+    if (std::string(name) == "ALT-FP") {
+      fp_total = r.total_us;
+    }
+    if (std::string(name) == "ALT-BP") {
+      bp_total = r.total_us;
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("-> ALT (independent + conversion) vs FP/BP: %s / %s\n",
+              (alt_total > 0 && fp_total > 0 && alt_total <= fp_total * 1.05) ? "wins" : "loses",
+              (alt_total > 0 && bp_total > 0 && alt_total <= bp_total * 1.05) ? "wins" : "loses");
+}
+
+}  // namespace alt
+
+int main() {
+  alt::RunSubgraph(1, alt::sim::Machine::IntelCpu());
+  alt::RunSubgraph(2, alt::sim::Machine::IntelCpu());
+  alt::RunSubgraph(1, alt::sim::Machine::NvidiaGpu());
+  alt::RunSubgraph(2, alt::sim::Machine::NvidiaGpu());
+  return 0;
+}

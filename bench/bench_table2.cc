@@ -1,0 +1,70 @@
+// Table 2 (paper §5.1, observation 2): profiled L1 data-cache misses of
+// loading a 512×{4,16,64,256} float block when the block is stored
+// contiguously (layout tiling) vs row-by-row with a large row stride (loop
+// tiling), on a Cortex-A76-like core with a next-4-line prefetcher.
+//
+// Claim to reproduce: layout tiling's misses track the paper's prefetch
+// prediction (#lines / 4) and are far below loop tiling's.
+
+#include <cstdio>
+
+#include "src/ir/stmt.h"
+#include "src/sim/cache.h"
+#include "src/sim/machine.h"
+
+namespace alt {
+
+ir::Program BlockLoadProgram(int64_t rows, int64_t cols, int64_t row_stride) {
+  ir::Program program;
+  program.name = "block_load";
+  ir::BufferDecl src;
+  src.tensor.id = 0;
+  src.tensor.name = "src";
+  src.tensor.shape = {rows * row_stride};
+  src.role = ir::BufferRole::kInput;
+  ir::BufferDecl dst;
+  dst.tensor.id = 1;
+  dst.tensor.name = "dst";
+  dst.tensor.shape = {1};
+  dst.role = ir::BufferRole::kOutput;
+  program.buffers = {src, dst};
+  ir::Expr r = ir::MakeVar("r");
+  ir::Expr c = ir::MakeVar("c");
+  ir::Stmt store = ir::MakeStore(1, {ir::Const(0)},
+                                 ir::Load(0, {ir::Add(ir::Mul(r, row_stride), c)}),
+                                 ir::StoreMode::kAccumulate);
+  program.root = ir::MakeFor(r, rows, ir::ForKind::kSerial,
+                             ir::MakeFor(c, cols, ir::ForKind::kSerial, store));
+  return program;
+}
+
+}  // namespace alt
+
+int main() {
+  const auto& machine = alt::sim::Machine::CortexA76();
+  std::printf("Table 2: L1 data-cache misses, 512 x C block load (Cortex-A76-like,\n");
+  std::printf("64B lines, next-%d-line stream prefetcher)\n\n", machine.prefetch_lines);
+  std::printf("%-10s | %-22s | %-22s | %s\n", "Tile Size", "#L1-mis layout tiling",
+              "#L1-mis loop tiling", "paper (1stF pred / 1stF / 2ndF)");
+  std::printf("-----------------------------------------------------------------------------\n");
+  struct PaperRow {
+    int cols;
+    const char* paper;
+  };
+  const PaperRow rows[] = {{4, "32 / 32 / 208"},
+                           {16, "128 / 96 / 262"},
+                           {64, "512 / 501 / 785"},
+                           {256, "2048 / 2037 / 2952"}};
+  for (const auto& row : rows) {
+    auto contiguous = alt::BlockLoadProgram(512, row.cols, row.cols);
+    auto strided = alt::BlockLoadProgram(512, row.cols, 4096);
+    auto sc = alt::sim::SimulateProgramTrace(contiguous, machine);
+    auto ss = alt::sim::SimulateProgramTrace(strided, machine);
+    std::printf("512 x %-4d | %-22lu | %-22lu | %s\n", row.cols,
+                static_cast<unsigned long>(sc.levels[0].misses),
+                static_cast<unsigned long>(ss.levels[0].misses), row.paper);
+  }
+  std::printf("\n-> layout tiling is preferable to loop tiling for cache utilization\n");
+  std::printf("   via hardware prefetching (paper section 5.1).\n");
+  return 0;
+}

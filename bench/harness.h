@@ -1,0 +1,123 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Budgets are scaled down from the paper (which spends 1,000 measurements per
+// single operator and 20,000 per network on real hardware) because our
+// measurement device is a simulator estimate; the joint/loop budget RATIO
+// follows the paper (30% joint stage / 70% loop-only stage).
+
+#ifndef ALT_BENCH_HARNESS_H_
+#define ALT_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/core/alt.h"
+#include "src/graph/networks.h"
+#include "src/support/logging.h"
+
+namespace alt::bench {
+
+struct MethodResult {
+  std::string name;
+  double latency_us = 0.0;
+  int measurements = 0;
+};
+
+inline MethodResult RunMethod(const std::string& name, const graph::Graph& g,
+                              const sim::Machine& machine, int budget, uint64_t seed) {
+  MethodResult result;
+  result.name = name;
+  StatusOr<autotune::CompiledNetwork> compiled = Status::Ok();
+  if (name == "Vendor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kVendor, g, machine, 0, seed);
+  } else if (name == "AutoTVM") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kAutoTvm, g, machine, budget,
+                                      seed);
+  } else if (name == "FlexTensor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kFlexTensor, g, machine,
+                                      budget, seed);
+  } else if (name == "Ansor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kAnsor, g, machine, budget,
+                                      seed);
+  } else {
+    core::AltOptions options;
+    options.budget = budget;
+    options.seed = seed;
+    options.method = autotune::SearchMethod::kPpoPretrained;
+    if (name == "ALT-OL") {
+      options.variant = core::AltVariant::kLoopOnly;
+    } else if (name == "ALT-WP") {
+      options.variant = core::AltVariant::kWithoutPropagation;
+    }
+    compiled = core::Compile(g, machine, options);
+  }
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "  [%s] FAILED: %s\n", name.c_str(),
+                 compiled.status().ToString().c_str());
+    result.latency_us = -1.0;
+    return result;
+  }
+  result.latency_us = compiled->perf.latency_us;
+  result.measurements = compiled->measurements_used;
+  return result;
+}
+
+// Prints one row: workload name, per-method latency (ms) and normalized
+// performance (best = 1.00).
+inline void PrintRow(const std::string& workload, const std::vector<MethodResult>& results) {
+  double best = 1e30;
+  for (const auto& r : results) {
+    if (r.latency_us > 0) {
+      best = std::min(best, r.latency_us);
+    }
+  }
+  std::printf("%-14s", workload.c_str());
+  for (const auto& r : results) {
+    if (r.latency_us <= 0) {
+      std::printf(" | %-9s n/a      ", r.name.c_str());
+    } else {
+      std::printf(" | %-9s %8.3fms (%.2f)", r.name.c_str(), r.latency_us / 1e3,
+                  best / r.latency_us);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+// Geometric-mean speedup of `method` over `baseline` across rows.
+inline double GeoMeanSpeedup(const std::vector<std::vector<MethodResult>>& rows,
+                             const std::string& method, const std::string& baseline) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const auto& row : rows) {
+    double m = -1, b = -1;
+    for (const auto& r : row) {
+      if (r.name == method) {
+        m = r.latency_us;
+      }
+      if (r.name == baseline) {
+        b = r.latency_us;
+      }
+    }
+    if (m > 0 && b > 0) {
+      log_sum += std::log(b / m);
+      ++n;
+    }
+  }
+  return n > 0 ? std::exp(log_sum / n) : 0.0;
+}
+
+}  // namespace alt::bench
+
+#endif  // ALT_BENCH_HARNESS_H_

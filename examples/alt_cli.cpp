@@ -1,0 +1,128 @@
+// alt_cli: command-line driver — tune a named network on a machine profile
+// with a chosen method and budget, and print a compilation report.
+//
+//   ./build/examples/example_alt_cli [network] [machine] [method] [budget]
+//
+//   network: r18 | r18b16 | mv2 | bert-base | bert-tiny | r3d | first-layer
+//   machine: intel-cpu | nvidia-gpu | arm-cpu
+//   method:  alt | alt-ol | alt-wp | ansor | autotvm | flextensor | vendor
+//   budget:  measurement count (default 400)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/baselines/baselines.h"
+#include "src/core/alt.h"
+#include "src/graph/networks.h"
+#include "src/support/string_util.h"
+
+namespace {
+
+alt::graph::Graph BuildNetwork(const std::string& name) {
+  if (name == "r18") {
+    return alt::graph::BuildResNet18(1);
+  }
+  if (name == "r18b16") {
+    return alt::graph::BuildResNet18(16);
+  }
+  if (name == "mv2") {
+    return alt::graph::BuildMobileNetV2(1);
+  }
+  if (name == "bert-base") {
+    return alt::graph::BuildBert(1, 768, 12);
+  }
+  if (name == "bert-tiny") {
+    return alt::graph::BuildBert(1, 128, 2);
+  }
+  if (name == "r3d") {
+    return alt::graph::BuildResNet3d18(1);
+  }
+  if (name == "first-layer") {
+    return alt::graph::BuildResNetFirstLayer(1);
+  }
+  std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alt;
+  std::string net_name = argc > 1 ? argv[1] : "first-layer";
+  std::string machine_name = argc > 2 ? argv[2] : "intel-cpu";
+  std::string method = argc > 3 ? argv[3] : "alt";
+  int budget = argc > 4 ? std::atoi(argv[4]) : 400;
+
+  graph::Graph g = BuildNetwork(net_name);
+  const sim::Machine& machine = sim::Machine::ByName(machine_name);
+  std::printf("tuning %s on %s with %s (budget %d)...\n", g.name().c_str(),
+              machine.name.c_str(), method.c_str(), budget);
+
+  StatusOr<autotune::CompiledNetwork> compiled = Status::Ok();
+  if (method == "ansor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kAnsor, g, machine, budget);
+  } else if (method == "autotvm") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kAutoTvm, g, machine, budget);
+  } else if (method == "flextensor") {
+    compiled =
+        baselines::RunBaseline(baselines::BaselineKind::kFlexTensor, g, machine, budget);
+  } else if (method == "vendor") {
+    compiled = baselines::RunBaseline(baselines::BaselineKind::kVendor, g, machine, 0);
+  } else {
+    core::AltOptions options;
+    options.budget = budget;
+    if (method == "alt-ol") {
+      options.variant = core::AltVariant::kLoopOnly;
+    } else if (method == "alt-wp") {
+      options.variant = core::AltVariant::kWithoutPropagation;
+    } else if (method != "alt") {
+      std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+      return 2;
+    }
+    compiled = core::Compile(g, machine, options);
+  }
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto& result = *compiled;
+  std::printf("\n=== compilation report ===\n");
+  std::printf("estimated latency : %s\n", FormatMicros(result.perf.latency_us).c_str());
+  std::printf("flops             : %.3g\n", result.perf.flops);
+  std::printf("L1 loads / misses : %.3g / %.3g\n", result.perf.l1_loads,
+              result.perf.l1_misses);
+  std::printf("DRAM traffic      : %.1f MB\n", result.perf.dram_bytes / 1e6);
+  std::printf("measurements used : %d\n", result.measurements_used);
+  std::printf("fused groups      : %zu\n", result.groups.size());
+  int conversions = 0;
+  int layouted = 0;
+  for (const auto& group : result.groups) {
+    if (result.graph.op(group.anchor_op).kind == graph::OpKind::kLayoutConvert) {
+      ++conversions;
+    }
+    if (!result.assignment.Get(group.OutputTensor(result.graph)).empty()) {
+      ++layouted;
+    }
+  }
+  std::printf("conversion ops    : %d\n", conversions);
+  std::printf("non-canonical outs: %d\n", layouted);
+
+  // Show the five slowest groups.
+  std::vector<std::pair<double, size_t>> costs;
+  for (size_t i = 0; i < result.programs.size(); ++i) {
+    costs.push_back({sim::EstimateProgram(result.programs[i], machine).latency_us, i});
+  }
+  std::sort(costs.rbegin(), costs.rend());
+  std::printf("\nhottest groups:\n");
+  for (size_t i = 0; i < costs.size() && i < 5; ++i) {
+    size_t gi = costs[i].second;
+    int out = result.groups[gi].OutputTensor(result.graph);
+    const auto& seq = result.assignment.Get(out);
+    std::printf("  %8.1f us  %-20s layout: %s\n", costs[i].first,
+                result.graph.op(result.groups[gi].anchor_op).name.c_str(),
+                seq.empty() ? "canonical" : seq.ToString().c_str());
+  }
+  return 0;
+}

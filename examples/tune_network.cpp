@@ -1,0 +1,47 @@
+// End-to-end network tuning: compile ResNet-18 with ALT and its ablations,
+// report per-variant latency, and inspect where conversion operators were
+// inserted and which groups fused.
+//
+//   ./build/examples/example_tune_network
+
+#include <cstdio>
+
+#include "src/core/alt.h"
+#include "src/graph/networks.h"
+
+int main() {
+  using namespace alt;
+  graph::Graph g = graph::BuildResNet18(1);
+  const auto& machine = sim::Machine::IntelCpu();
+  std::printf("network: %s (%zu ops, %zu complex) on %s\n\n", g.name().c_str(),
+              g.ops().size(), g.ComplexOps().size(), machine.name.c_str());
+
+  const int kBudget = 400;
+  for (auto variant : {core::AltVariant::kLoopOnly, core::AltVariant::kWithoutPropagation,
+                       core::AltVariant::kFull}) {
+    core::AltOptions options;
+    options.budget = kBudget;
+    options.variant = variant;
+    auto compiled = core::Compile(g, machine, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", core::VariantName(variant),
+                   compiled.status().ToString().c_str());
+      continue;
+    }
+    int conversions = 0;
+    int fused_ops = 0;
+    for (const auto& group : compiled->groups) {
+      if (compiled->graph.op(group.anchor_op).kind == graph::OpKind::kLayoutConvert) {
+        ++conversions;
+      }
+      fused_ops += static_cast<int>(group.fused_ops.size());
+    }
+    std::printf("%-8s latency %9.2f ms | groups %3zu | fused elementwise ops %3d | "
+                "conversion ops %d\n",
+                core::VariantName(variant), compiled->perf.latency_us / 1e3,
+                compiled->groups.size(), fused_ops, conversions);
+  }
+  std::printf("\nALT should fuse the most (propagation aligns loop nests, Fig. 7) and\n"
+              "be the fastest; ALT-WP loses fusion opportunities (Fig. 6).\n");
+  return 0;
+}

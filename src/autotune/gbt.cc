@@ -1,0 +1,130 @@
+#include "src/autotune/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/support/status.h"
+
+namespace alt::autotune {
+
+double GradientBoostedTrees::Tree::Predict(const std::vector<double>& x) const {
+  int node = 0;
+  while (nodes[node].feature >= 0) {
+    const Node& n = nodes[node];
+    double v = n.feature < static_cast<int>(x.size()) ? x[n.feature] : 0.0;
+    node = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes[node].value;
+}
+
+void GradientBoostedTrees::Split(Tree& tree, int node_id,
+                                 const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& residual,
+                                 std::vector<int>& indices, int begin, int end, int depth) {
+  int count = end - begin;
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    sum += residual[indices[i]];
+  }
+  double mean = count > 0 ? sum / count : 0.0;
+  tree.nodes[node_id].value = mean;
+  if (depth >= options_.max_depth || count < 2 * options_.min_samples_leaf) {
+    return;
+  }
+
+  int num_features = static_cast<int>(x[0].size());
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> vals(count);  // (feature value, residual)
+  for (int f = 0; f < num_features; ++f) {
+    for (int i = 0; i < count; ++i) {
+      int idx = indices[begin + i];
+      vals[i] = {x[idx][f], residual[idx]};
+    }
+    std::sort(vals.begin(), vals.end());
+    double left_sum = 0.0;
+    for (int i = 0; i + 1 < count; ++i) {
+      left_sum += vals[i].second;
+      if (vals[i].first == vals[i + 1].first) {
+        continue;
+      }
+      int nl = i + 1;
+      int nr = count - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = sum - left_sum;
+      double gain = left_sum * left_sum / nl + right_sum * right_sum / nr - sum * sum / count;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) {
+    return;
+  }
+
+  auto mid_it = std::partition(indices.begin() + begin, indices.begin() + end,
+                               [&](int idx) { return x[idx][best_feature] <= best_threshold; });
+  int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    return;
+  }
+  tree.nodes[node_id].feature = best_feature;
+  tree.nodes[node_id].threshold = best_threshold;
+  int left = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  int right = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  tree.nodes[node_id].left = left;
+  tree.nodes[node_id].right = right;
+  Split(tree, left, x, residual, indices, begin, mid, depth + 1);
+  Split(tree, right, x, residual, indices, mid, end, depth + 1);
+}
+
+GradientBoostedTrees::Tree GradientBoostedTrees::FitTree(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& residual) {
+  Tree tree;
+  tree.nodes.push_back(Node{});
+  std::vector<int> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Split(tree, 0, x, residual, indices, 0, static_cast<int>(x.size()), 0);
+  return tree;
+}
+
+void GradientBoostedTrees::Fit(const std::vector<std::vector<double>>& x,
+                               const std::vector<double>& y) {
+  trees_.clear();
+  if (x.empty()) {
+    return;
+  }
+  ALT_CHECK(x.size() == y.size());
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) / y.size();
+  std::vector<double> pred(y.size(), base_);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<double> residual(y.size());
+    for (size_t i = 0; i < y.size(); ++i) {
+      residual[i] = y[i] - pred[i];
+    }
+    Tree tree = FitTree(x, residual);
+    for (size_t i = 0; i < y.size(); ++i) {
+      pred[i] += options_.learning_rate * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::Predict(const std::vector<double>& x) const {
+  double out = base_;
+  for (const auto& tree : trees_) {
+    out += options_.learning_rate * tree.Predict(x);
+  }
+  return out;
+}
+
+}  // namespace alt::autotune

@@ -1,0 +1,293 @@
+#include "src/autotune/layout_templates.h"
+
+#include <numeric>
+
+namespace alt::autotune {
+
+using layout::LayoutSeq;
+using layout::Primitive;
+
+namespace {
+
+Status CheckDivides(int64_t factor, int64_t extent, const char* what) {
+  if (factor <= 0 || extent % factor != 0) {
+    return Status::InvalidArgument(std::string(what) + " tile does not divide extent");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ConvLayouts> MakeConvTemplates(const graph::Graph& graph, const graph::Op& op,
+                                        const ConvLayoutParams& params) {
+  const auto& attrs = op.conv;
+  int sd = attrs.spatial_dims;
+  const auto& out_shape = graph.tensor(op.output).shape;
+  const auto& in_shape = graph.tensor(op.inputs[0]).shape;
+  const auto& w_shape = graph.tensor(op.inputs[1]).shape;
+  if (static_cast<int>(params.spatial_tiles.size()) != sd) {
+    return Status::InvalidArgument("spatial tile count mismatch");
+  }
+
+  ConvLayouts layouts;
+
+  // ---- output: N  S1/t1 ... Sd/td  O/ot  t1 ... td  ot  (optionally two-level
+  // on ot) ----
+  int64_t out_channels = out_shape[1];
+  for (int d = 0; d < sd; ++d) {
+    ALT_RETURN_IF_ERROR(CheckDivides(params.spatial_tiles[d], out_shape[2 + d], "spatial"));
+  }
+  ALT_RETURN_IF_ERROR(CheckDivides(params.out_tile * params.out_tile2, out_channels, "out ch"));
+  {
+    LayoutSeq seq;
+    // Split spatial dims from the last to keep indices stable.
+    for (int d = sd - 1; d >= 0; --d) {
+      int64_t extent = out_shape[2 + d];
+      int64_t t = params.spatial_tiles[d];
+      if (t < extent) {
+        seq.Append(Primitive::Split(2 + d, {extent / t, t}));
+      }
+    }
+    // With every spatial dim split the channel dim is still at index 1.
+    int64_t ot_total = params.out_tile * params.out_tile2;
+    int o_parts = 1;
+    if (params.out_tile2 > 1) {
+      seq.Append(
+          Primitive::Split(1, {out_channels / ot_total, params.out_tile2, params.out_tile}));
+      o_parts = 3;
+    } else if (ot_total < out_channels) {
+      seq.Append(Primitive::Split(1, {out_channels / ot_total, params.out_tile}));
+      o_parts = 2;
+    }
+    // Assemble the permutation over the current dim list.
+    // Current order: N, O-parts..., then per spatial dim its parts...
+    int pos = 1;
+    std::vector<int> o_dims(o_parts);
+    for (int i = 0; i < o_parts; ++i) {
+      o_dims[i] = pos++;
+    }
+    std::vector<std::pair<int, int>> s_dims;  // (outer, inner) or (single,-1)
+    for (int d = 0; d < sd; ++d) {
+      if (params.spatial_tiles[d] < out_shape[2 + d]) {
+        int a = pos++;
+        int b = pos++;
+        s_dims.push_back({a, b});
+      } else {
+        s_dims.push_back({pos++, -1});
+      }
+    }
+    // Desired: N, spatial outers, O outer(s, all but last), spatial inners, O last.
+    std::vector<int> perm{0};
+    for (auto& sdims : s_dims) {
+      perm.push_back(sdims.first);
+    }
+    for (int i = 0; i + 1 < o_parts; ++i) {
+      perm.push_back(o_dims[i]);
+    }
+    // Two-level: the middle ot2 sits before the spatial inners.
+    for (auto& sdims : s_dims) {
+      if (sdims.second >= 0) {
+        perm.push_back(sdims.second);
+      }
+    }
+    perm.push_back(o_dims[o_parts - 1]);
+    bool identity = true;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      identity = identity && perm[i] == static_cast<int>(i);
+    }
+    if (!identity) {
+      seq.Append(Primitive::Reorder(perm));
+    }
+    layouts.output = seq;
+  }
+
+  // ---- input: N  S1/t1.. I/it  B1.. it ----
+  int64_t in_channels = in_shape[1];
+  ALT_RETURN_IF_ERROR(CheckDivides(params.in_tile, in_channels, "in ch"));
+  {
+    LayoutSeq seq;
+    std::vector<bool> unfolded(sd, false);
+    for (int d = sd - 1; d >= 0; --d) {
+      int64_t t = params.spatial_tiles[d];
+      if (t >= out_shape[2 + d]) {
+        continue;  // spatial dim untiled -> no unfold
+      }
+      int64_t window = attrs.dilation[d] * (w_shape[2 + d] - 1) + 1;
+      int64_t tile = attrs.stride[d] * (t - 1) + window;
+      int64_t stride = attrs.stride[d] * t;
+      if (stride > tile || tile > in_shape[2 + d]) {
+        continue;  // no overlap to exploit (e.g. 1x1 stride-2)
+      }
+      seq.Append(Primitive::Unfold(2 + d, tile, stride));
+      unfolded[d] = true;
+    }
+    if (params.in_tile < in_channels) {
+      seq.Append(Primitive::Split(1, {in_channels / params.in_tile, params.in_tile}));
+    }
+    // Current order: N, I-parts, then per spatial dim (tile, window) or single.
+    int pos = 1;
+    int i_parts = params.in_tile < in_channels ? 2 : 1;
+    std::vector<int> i_dims(i_parts);
+    for (int i = 0; i < i_parts; ++i) {
+      i_dims[i] = pos++;
+    }
+    std::vector<std::pair<int, int>> s_dims;
+    for (int d = 0; d < sd; ++d) {
+      if (unfolded[d]) {
+        int a = pos++;
+        int b = pos++;
+        s_dims.push_back({a, b});
+      } else {
+        s_dims.push_back({pos++, -1});
+      }
+    }
+    std::vector<int> perm{0};
+    for (auto& sdims : s_dims) {
+      perm.push_back(sdims.first);
+    }
+    perm.push_back(i_dims[0]);
+    for (auto& sdims : s_dims) {
+      if (sdims.second >= 0) {
+        perm.push_back(sdims.second);
+      }
+    }
+    if (i_parts == 2) {
+      perm.push_back(i_dims[1]);
+    }
+    bool identity = true;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      identity = identity && perm[i] == static_cast<int>(i);
+    }
+    if (!identity) {
+      seq.Append(Primitive::Reorder(perm));
+    }
+    layouts.input = seq;
+  }
+
+  // ---- weight: O/ot' I/it' K.. it' ot' ----
+  // Canonical forward weight O, Ig, K..; transposed weight C, O/g, K..: tile
+  // dim0/dim1 generically.
+  int64_t w0 = w_shape[0];
+  int64_t w1 = w_shape[1];
+  ALT_RETURN_IF_ERROR(CheckDivides(params.w_out_tile, w0, "w dim0"));
+  ALT_RETURN_IF_ERROR(CheckDivides(params.w_in_tile, w1, "w dim1"));
+  {
+    LayoutSeq seq;
+    bool split1 = params.w_in_tile < w1;
+    bool split0 = params.w_out_tile < w0;
+    if (split1) {
+      seq.Append(Primitive::Split(1, {w1 / params.w_in_tile, params.w_in_tile}));
+    }
+    if (split0) {
+      seq.Append(Primitive::Split(0, {w0 / params.w_out_tile, params.w_out_tile}));
+    }
+    // Current: [O0, (ot')?, I0, (it')?, K...]
+    std::vector<int> perm;
+    int pos = 0;
+    int o_outer = pos++;
+    int o_inner = split0 ? pos++ : -1;
+    int i_outer = pos++;
+    int i_inner = split1 ? pos++ : -1;
+    perm.push_back(o_outer);
+    perm.push_back(i_outer);
+    for (int d = 0; d < sd; ++d) {
+      perm.push_back(pos++);
+    }
+    if (i_inner >= 0) {
+      perm.push_back(i_inner);
+    }
+    if (o_inner >= 0) {
+      perm.push_back(o_inner);
+    }
+    bool identity = true;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      identity = identity && perm[i] == static_cast<int>(i);
+    }
+    if (!identity) {
+      seq.Append(Primitive::Reorder(perm));
+    }
+    layouts.weight = seq;
+  }
+  return layouts;
+}
+
+StatusOr<GmmLayouts> MakeGmmTemplates(const graph::Graph& graph, const graph::Op& op,
+                                      const GmmLayoutParams& params) {
+  const auto& sa = graph.tensor(op.inputs[0]).shape;
+  const auto& sb = graph.tensor(op.inputs[1]).shape;
+  int64_t m = sa[0], k = sa[1], n = sb[1];
+  ALT_RETURN_IF_ERROR(CheckDivides(params.mt, m, "mt"));
+  ALT_RETURN_IF_ERROR(CheckDivides(params.nt, n, "nt"));
+  ALT_RETURN_IF_ERROR(CheckDivides(params.kt, k, "kt"));
+
+  auto tile2d = [](int64_t d0, int64_t t0, int64_t d1, int64_t t1) {
+    LayoutSeq seq;
+    bool s1 = t1 < d1;
+    bool s0 = t0 < d0;
+    if (s1) {
+      seq.Append(Primitive::Split(1, {d1 / t1, t1}));
+    }
+    if (s0) {
+      seq.Append(Primitive::Split(0, {d0 / t0, t0}));
+    }
+    if (s0 && s1) {
+      seq.Append(Primitive::Reorder({0, 2, 1, 3}));
+    } else if (s0 && !s1) {
+      // [D0o, t0, D1] -> D0o D1 t0
+      seq.Append(Primitive::Reorder({0, 2, 1}));
+    }
+    // (!s0 && s1): [D0, D1o, t1] already D0 D1o t1 — keep.
+    return seq;
+  };
+
+  GmmLayouts layouts;
+  layouts.c = tile2d(m, params.mt, n, params.nt);
+  layouts.a = tile2d(m, params.mt, k, params.kt);
+  layouts.b = tile2d(k, params.kt, n, params.nt);
+  return layouts;
+}
+
+layout::LayoutSeq ChannelsLast(int spatial_dims) {
+  // N,C,S... -> N,S...,C
+  std::vector<int> perm{0};
+  for (int d = 0; d < spatial_dims; ++d) {
+    perm.push_back(2 + d);
+  }
+  perm.push_back(1);
+  LayoutSeq seq;
+  seq.Append(Primitive::Reorder(perm));
+  return seq;
+}
+
+layout::LayoutSeq Hwon() {
+  LayoutSeq seq;
+  seq.Append(Primitive::Reorder({2, 3, 1, 0}));
+  return seq;
+}
+
+StatusOr<layout::LayoutSeq> BlockedChannels(const std::vector<int64_t>& canonical_shape,
+                                            int64_t ct) {
+  int64_t channels = canonical_shape[1];
+  ALT_RETURN_IF_ERROR(CheckDivides(ct, channels, "channel"));
+  LayoutSeq seq;
+  if (ct < channels) {
+    seq.Append(Primitive::Split(1, {channels / ct, ct}));
+    // N, C/ct, ct, S... -> N, C/ct, S..., ct
+    int rank = static_cast<int>(canonical_shape.size()) + 1;
+    std::vector<int> perm{0, 1};
+    for (int d = 3; d < rank; ++d) {
+      perm.push_back(d);
+    }
+    perm.push_back(2);
+    seq.Append(Primitive::Reorder(perm));
+  }
+  return seq;
+}
+
+layout::LayoutSeq TransposedB() {
+  LayoutSeq seq;
+  seq.Append(Primitive::Reorder({1, 0}));
+  return seq;
+}
+
+}  // namespace alt::autotune

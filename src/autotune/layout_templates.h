@@ -1,0 +1,81 @@
+// Layout tuning templates (paper §5.1).
+//
+// For convolutions the template tiles spatial dims of the output (and unfolds
+// the corresponding input windows, Eq. (1)) and channel dims of all three
+// tensors, always moving the tiled channel innermost for data reuse + SIMD:
+//
+//   output  N  H/ht W/wt  O/ot  ht wt ot
+//   input   N  H/ht W/wt  I/it  (V(ht-1)+KHeff) (V(wt-1)+KWeff)  it
+//   weight  O/ot' I/it'  KH KW  it' ot'
+//
+// For GMM:  C = M/mt N/nt mt nt,  A = M/mt K/kt mt kt,  B = K/kt N/nt kt nt.
+//
+// This header also provides the classic fixed layouts used by Fig. 1 and the
+// baselines (NOHW, NHWO, HWON, blocked NCHWc, KN / NK / NKn).
+
+#ifndef ALT_AUTOTUNE_LAYOUT_TEMPLATES_H_
+#define ALT_AUTOTUNE_LAYOUT_TEMPLATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/layout/primitive.h"
+#include "src/support/status.h"
+
+namespace alt::autotune {
+
+struct ConvLayoutParams {
+  // One tile factor per spatial dim of the output (must divide the extent).
+  // A factor equal to the extent means "un-tiled".
+  std::vector<int64_t> spatial_tiles;
+  int64_t out_tile = 1;    // ot
+  int64_t in_tile = 1;     // it (input channels)
+  int64_t w_in_tile = 1;   // it'
+  int64_t w_out_tile = 1;  // ot'
+  // Optional second tiling level for ot (two-level template, §7.3.3).
+  int64_t out_tile2 = 1;
+};
+
+struct ConvLayouts {
+  layout::LayoutSeq output;
+  layout::LayoutSeq input;
+  layout::LayoutSeq weight;
+};
+
+// Builds the §5.1 conv template for `op` (any spatial rank, incl. grouped /
+// dilated). Unfold is skipped on dims where stride exceeds the effective
+// window (no overlap to exploit).
+StatusOr<ConvLayouts> MakeConvTemplates(const graph::Graph& graph, const graph::Op& op,
+                                        const ConvLayoutParams& params);
+
+struct GmmLayoutParams {
+  int64_t mt = 1;
+  int64_t nt = 1;
+  int64_t kt = 1;
+};
+
+struct GmmLayouts {
+  layout::LayoutSeq c;
+  layout::LayoutSeq a;
+  layout::LayoutSeq b;
+};
+
+StatusOr<GmmLayouts> MakeGmmTemplates(const graph::Graph& graph, const graph::Op& op,
+                                      const GmmLayoutParams& params);
+
+// --- classic fixed layouts (Fig. 1, baselines) ---
+
+// Channel-last for an N,C,spatial... tensor: NHWO / NWO / NDHWO etc.
+layout::LayoutSeq ChannelsLast(int spatial_dims);
+// HWON: spatial dims first, then channel, then batch (2-D only).
+layout::LayoutSeq Hwon();
+// Blocked NCHWc with channel tile `ct` (NeoCPU-style N C/ct H W ct).
+StatusOr<layout::LayoutSeq> BlockedChannels(const std::vector<int64_t>& canonical_shape,
+                                            int64_t ct);
+// Matmul operand layouts: NK transposes B; NKn tiles all three (paper §2).
+layout::LayoutSeq TransposedB();
+
+}  // namespace alt::autotune
+
+#endif  // ALT_AUTOTUNE_LAYOUT_TEMPLATES_H_

@@ -1,0 +1,133 @@
+#include "src/autotune/mlp.h"
+
+#include <cmath>
+
+#include "src/support/status.h"
+
+namespace alt::autotune {
+
+Mlp::Mlp(int in_dim, int hidden, int out_dim, Rng& rng)
+    : in_dim_(in_dim), hidden_(hidden), out_dim_(out_dim) {
+  auto init = [&rng](Layer& l, int in, int out) {
+    l.in = in;
+    l.out = out;
+    double scale = std::sqrt(2.0 / (in + out));
+    l.w.resize(in * out);
+    for (auto& v : l.w) {
+      v = rng.NextGaussian() * scale;
+    }
+    l.b.assign(out, 0.0);
+    l.gw.assign(in * out, 0.0);
+    l.gb.assign(out, 0.0);
+    l.mw.assign(in * out, 0.0);
+    l.vw.assign(in * out, 0.0);
+    l.mb.assign(out, 0.0);
+    l.vb.assign(out, 0.0);
+  };
+  init(l1_, in_dim, hidden);
+  init(l2_, hidden, hidden);
+  init(l3_, hidden, out_dim);
+}
+
+std::vector<double> Mlp::LayerForward(const Layer& l, const std::vector<double>& x,
+                                      bool tanh_act) const {
+  std::vector<double> out(l.out);
+  for (int o = 0; o < l.out; ++o) {
+    double acc = l.b[o];
+    const double* w = &l.w[o * l.in];
+    for (int i = 0; i < l.in; ++i) {
+      acc += w[i] * x[i];
+    }
+    out[o] = tanh_act ? std::tanh(acc) : acc;
+  }
+  return out;
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
+  ALT_CHECK(static_cast<int>(x.size()) == in_dim_);
+  auto h1 = LayerForward(l1_, x, true);
+  auto h2 = LayerForward(l2_, h1, true);
+  return LayerForward(l3_, h2, false);
+}
+
+void Mlp::Backward(const std::vector<double>& x, const std::vector<double>& grad_out) {
+  // Recompute activations (cheap at this scale).
+  auto h1 = LayerForward(l1_, x, true);
+  auto h2 = LayerForward(l2_, h1, true);
+
+  // Layer 3 (linear).
+  std::vector<double> dh2(l2_.out, 0.0);
+  for (int o = 0; o < l3_.out; ++o) {
+    double g = grad_out[o];
+    l3_.gb[o] += g;
+    double* gw = &l3_.gw[o * l3_.in];
+    const double* w = &l3_.w[o * l3_.in];
+    for (int i = 0; i < l3_.in; ++i) {
+      gw[i] += g * h2[i];
+      dh2[i] += g * w[i];
+    }
+  }
+  // Layer 2 (tanh).
+  std::vector<double> dh1(l1_.out, 0.0);
+  for (int o = 0; o < l2_.out; ++o) {
+    double g = dh2[o] * (1.0 - h2[o] * h2[o]);
+    l2_.gb[o] += g;
+    double* gw = &l2_.gw[o * l2_.in];
+    const double* w = &l2_.w[o * l2_.in];
+    for (int i = 0; i < l2_.in; ++i) {
+      gw[i] += g * h1[i];
+      dh1[i] += g * w[i];
+    }
+  }
+  // Layer 1 (tanh).
+  for (int o = 0; o < l1_.out; ++o) {
+    double g = dh1[o] * (1.0 - h1[o] * h1[o]);
+    l1_.gb[o] += g;
+    double* gw = &l1_.gw[o * l1_.in];
+    for (int i = 0; i < l1_.in; ++i) {
+      gw[i] += g * x[i];
+    }
+  }
+}
+
+void Mlp::AdamStep(double lr) {
+  ++adam_t_;
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  double bc1 = 1.0 - std::pow(b1, adam_t_);
+  double bc2 = 1.0 - std::pow(b2, adam_t_);
+  auto step = [&](std::vector<double>& w, std::vector<double>& g, std::vector<double>& m,
+                  std::vector<double>& v) {
+    for (size_t i = 0; i < w.size(); ++i) {
+      m[i] = b1 * m[i] + (1 - b1) * g[i];
+      v[i] = b2 * v[i] + (1 - b2) * g[i] * g[i];
+      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+      g[i] = 0.0;
+    }
+  };
+  for (Layer* l : {&l1_, &l2_, &l3_}) {
+    step(l->w, l->gw, l->mw, l->vw);
+    step(l->b, l->gb, l->mb, l->vb);
+  }
+}
+
+std::vector<double> Mlp::GetWeights() const {
+  std::vector<double> out;
+  for (const Layer* l : {&l1_, &l2_, &l3_}) {
+    out.insert(out.end(), l->w.begin(), l->w.end());
+    out.insert(out.end(), l->b.begin(), l->b.end());
+  }
+  return out;
+}
+
+void Mlp::SetWeights(const std::vector<double>& w) {
+  size_t pos = 0;
+  for (Layer* l : {&l1_, &l2_, &l3_}) {
+    ALT_CHECK(pos + l->w.size() + l->b.size() <= w.size());
+    std::copy(w.begin() + pos, w.begin() + pos + l->w.size(), l->w.begin());
+    pos += l->w.size();
+    std::copy(w.begin() + pos, w.begin() + pos + l->b.size(), l->b.begin());
+    pos += l->b.size();
+  }
+}
+
+}  // namespace alt::autotune

@@ -1,0 +1,51 @@
+// Minimal dense neural network with manual backprop and Adam — the function
+// approximator behind the PPO actor/critic (paper §5.2). Two tanh hidden
+// layers and a linear head.
+
+#ifndef ALT_AUTOTUNE_MLP_H_
+#define ALT_AUTOTUNE_MLP_H_
+
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace alt::autotune {
+
+class Mlp {
+ public:
+  Mlp(int in_dim, int hidden, int out_dim, Rng& rng);
+
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  // Accumulates gradients for one example; returns nothing. Call AdamStep to
+  // apply and clear accumulated gradients.
+  void Backward(const std::vector<double>& x, const std::vector<double>& grad_out);
+
+  void AdamStep(double lr);
+
+  // Flat parameter snapshot (for pretrained-agent cloning).
+  std::vector<double> GetWeights() const;
+  void SetWeights(const std::vector<double>& w);
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  struct Layer {
+    int in, out;
+    std::vector<double> w, b;        // weights row-major [out][in]
+    std::vector<double> gw, gb;      // gradient accumulators
+    std::vector<double> mw, vw, mb, vb;  // Adam moments
+  };
+
+  std::vector<double> LayerForward(const Layer& l, const std::vector<double>& x,
+                                   bool tanh_act) const;
+
+  int in_dim_, hidden_, out_dim_;
+  Layer l1_, l2_, l3_;
+  int adam_t_ = 0;
+};
+
+}  // namespace alt::autotune
+
+#endif  // ALT_AUTOTUNE_MLP_H_

@@ -1,0 +1,125 @@
+#include "src/autotune/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/status.h"
+
+namespace alt::autotune {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+PpoAgent::PpoAgent(PpoOptions options, Rng& rng)
+    : options_(options),
+      rng_(rng.NextU64()),
+      actor_(options.state_dim, options.hidden, options.action_dim, rng),
+      critic_(options.state_dim, options.hidden, 1, rng) {}
+
+std::vector<double> PpoAgent::PadState(const std::vector<double>& state) const {
+  std::vector<double> padded(options_.state_dim, 0.0);
+  for (size_t i = 0; i < state.size() && i < padded.size(); ++i) {
+    // Log-compress magnitudes: primitive states hold extents up to millions.
+    double v = state[i];
+    padded[i] = v >= 0 ? std::log1p(v) * 0.25 : -std::log1p(-v) * 0.25;
+  }
+  return padded;
+}
+
+std::vector<double> PpoAgent::Act(const std::vector<double>& state) {
+  ALT_CHECK_MSG(!pending_, "Act called twice without Reward");
+  Transition t;
+  t.state = PadState(state);
+  t.mean = actor_.Forward(t.state);
+  double sigma = std::exp(options_.log_std);
+  t.u.resize(options_.action_dim);
+  std::vector<double> action(options_.action_dim);
+  for (int i = 0; i < options_.action_dim; ++i) {
+    t.u[i] = t.mean[i] + sigma * rng_.NextGaussian();
+    action[i] = Sigmoid(t.u[i]);
+  }
+  buffer_.push_back(std::move(t));
+  pending_ = true;
+  return action;
+}
+
+void PpoAgent::Reward(double reward) {
+  ALT_CHECK_MSG(pending_, "Reward without a pending Act");
+  buffer_.back().reward = reward;
+  pending_ = false;
+  if (static_cast<int>(buffer_.size()) >= options_.batch_before_update) {
+    Update();
+    buffer_.clear();
+  }
+}
+
+void PpoAgent::Update() {
+  // Normalize rewards across the batch for a stable advantage scale.
+  double mean_r = 0.0;
+  for (const auto& t : buffer_) {
+    mean_r += t.reward;
+  }
+  mean_r /= buffer_.size();
+  double var_r = 0.0;
+  for (const auto& t : buffer_) {
+    var_r += (t.reward - mean_r) * (t.reward - mean_r);
+  }
+  double std_r = std::sqrt(var_r / buffer_.size()) + 1e-6;
+
+  const double sigma = std::exp(options_.log_std);
+  const double inv_var = 1.0 / (sigma * sigma);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& t : buffer_) {
+      double norm_reward = (t.reward - mean_r) / std_r;
+      double value = critic_.Forward(t.state)[0];
+      double advantage = norm_reward - value;
+
+      // Critic: squared error towards the normalized reward.
+      critic_.Backward(t.state, {2.0 * (value - norm_reward)});
+
+      // Actor: PPO-clip. ratio = pi(u|s)/pi_old(u|s) with gaussian policy;
+      // log pi = -0.5 * inv_var * ||u - mean||^2 + const.
+      auto mean_now = actor_.Forward(t.state);
+      double log_ratio = 0.0;
+      for (int i = 0; i < options_.action_dim; ++i) {
+        double d_new = t.u[i] - mean_now[i];
+        double d_old = t.u[i] - t.mean[i];
+        log_ratio += -0.5 * inv_var * (d_new * d_new - d_old * d_old);
+      }
+      double ratio = std::exp(std::clamp(log_ratio, -10.0, 10.0));
+      bool clipped = (advantage > 0 && ratio > 1.0 + options_.clip) ||
+                     (advantage < 0 && ratio < 1.0 - options_.clip);
+      if (!clipped) {
+        // d(-ratio*A)/d mean_i = -A * ratio * inv_var * (u_i - mean_i)
+        std::vector<double> grad(options_.action_dim);
+        for (int i = 0; i < options_.action_dim; ++i) {
+          grad[i] = -advantage * ratio * inv_var * (t.u[i] - mean_now[i]);
+        }
+        actor_.Backward(t.state, grad);
+      }
+    }
+    actor_.AdamStep(options_.actor_lr);
+    critic_.AdamStep(options_.critic_lr);
+  }
+}
+
+std::vector<double> PpoAgent::Snapshot() const {
+  auto a = actor_.GetWeights();
+  auto c = critic_.GetWeights();
+  a.insert(a.end(), c.begin(), c.end());
+  return a;
+}
+
+void PpoAgent::Restore(const std::vector<double>& snapshot) {
+  auto a = actor_.GetWeights();  // sizes
+  std::vector<double> actor_w(snapshot.begin(), snapshot.begin() + a.size());
+  std::vector<double> critic_w(snapshot.begin() + a.size(), snapshot.end());
+  actor_.SetWeights(actor_w);
+  critic_.SetWeights(critic_w);
+}
+
+}  // namespace alt::autotune

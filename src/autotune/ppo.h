@@ -1,0 +1,72 @@
+// Proximal Policy Optimization agent (paper §5.2).
+//
+// The tuner's exploration agents are PPO actors with a shared critic. Each
+// proposal is a one-step episode: observe the primitive/schedule state,
+// output a vector of actions in (0,1) (mapped to split factors via Eq. (2)),
+// receive the reward U - latency (Eq. (3)). Updates use the clipped PPO
+// objective with an MLP policy (Gaussian in pre-sigmoid space) and an MLP
+// value baseline.
+
+#ifndef ALT_AUTOTUNE_PPO_H_
+#define ALT_AUTOTUNE_PPO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/autotune/mlp.h"
+#include "src/support/rng.h"
+
+namespace alt::autotune {
+
+struct PpoOptions {
+  int state_dim = 32;
+  int action_dim = 12;
+  int hidden = 64;
+  double log_std = -0.1;      // exploration noise (sigma ~ 0.9 pre-sigmoid)
+  double clip = 0.2;
+  double actor_lr = 3e-3;
+  double critic_lr = 1e-2;
+  int epochs = 4;
+  int batch_before_update = 16;
+};
+
+class PpoAgent {
+ public:
+  PpoAgent(PpoOptions options, Rng& rng);
+
+  // Samples an action vector in (0,1)^action_dim for `state` (padded /
+  // truncated to state_dim internally).
+  std::vector<double> Act(const std::vector<double>& state);
+
+  // Reports the reward of the LAST Act() call. When enough transitions have
+  // accumulated, runs a PPO update.
+  void Reward(double reward);
+
+  // Pretraining support: snapshot / restore all weights.
+  std::vector<double> Snapshot() const;
+  void Restore(const std::vector<double>& snapshot);
+
+  const PpoOptions& options() const { return options_; }
+
+ private:
+  struct Transition {
+    std::vector<double> state;
+    std::vector<double> u;        // pre-sigmoid gaussian sample
+    std::vector<double> mean;     // policy mean at sample time
+    double reward = 0.0;
+  };
+
+  std::vector<double> PadState(const std::vector<double>& state) const;
+  void Update();
+
+  PpoOptions options_;
+  Rng rng_;
+  Mlp actor_;
+  Mlp critic_;
+  std::vector<Transition> buffer_;
+  bool pending_ = false;
+};
+
+}  // namespace alt::autotune
+
+#endif  // ALT_AUTOTUNE_PPO_H_

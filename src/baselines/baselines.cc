@@ -1,0 +1,56 @@
+#include "src/baselines/baselines.h"
+
+namespace alt::baselines {
+
+const char* BaselineName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kVendor:
+      return "Vendor";
+    case BaselineKind::kAutoTvm:
+      return "AutoTVM";
+    case BaselineKind::kFlexTensor:
+      return "FlexTensor";
+    case BaselineKind::kAnsor:
+      return "Ansor";
+  }
+  return "?";
+}
+
+StatusOr<autotune::CompiledNetwork> RunBaseline(BaselineKind kind, const graph::Graph& graph,
+                                                const sim::Machine& machine, int budget,
+                                                uint64_t seed) {
+  autotune::TuningOptions options;
+  options.seed = seed;
+  options.tune_layout = false;
+  options.method = autotune::SearchMethod::kRandom;
+  switch (kind) {
+    case BaselineKind::kVendor:
+      // Expert default schedules, zero search. MKL-DNN-style blocked NCHWc on
+      // CPUs; cuDNN prefers NCHW (canonical) on GPU.
+      options.total_budget = 0;
+      options.fixed_layout = machine.gpu_like ? autotune::FixedLayout::kCanonical
+                                              : autotune::FixedLayout::kBlocked;
+      break;
+    case BaselineKind::kAutoTvm:
+      options.total_budget = budget;
+      options.restricted_loop_space = true;
+      options.use_cost_model = true;
+      options.fixed_layout = autotune::FixedLayout::kBlocked;
+      break;
+    case BaselineKind::kFlexTensor:
+      options.total_budget = budget;
+      options.use_cost_model = false;  // no cost model: measure everything
+      options.fixed_layout = autotune::FixedLayout::kCanonical;
+      break;
+    case BaselineKind::kAnsor:
+      options.total_budget = budget;
+      options.use_cost_model = true;
+      options.fixed_layout = machine.gpu_like ? autotune::FixedLayout::kCanonical
+                                              : autotune::FixedLayout::kBlocked;
+      break;
+  }
+  autotune::JointTuner tuner(graph, machine, options);
+  return tuner.Tune();
+}
+
+}  // namespace alt::baselines

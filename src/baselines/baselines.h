@@ -1,0 +1,30 @@
+// Auto-tuning and vendor-library baselines (paper §7).
+//
+// Each baseline reproduces the mechanism gap the paper attributes to it:
+//   * Vendor (MKL-DNN / cuDNN / XNNPACK stand-in): expert fixed schedules on
+//     the library's preferred fixed layout; no search at all.
+//   * AutoTVM-like: small template loop space (restricted knobs), cost model,
+//     fixed blocked layout (NeoCPU's N O/ot H W ot with predetermined ot).
+//   * FlexTensor-like: full loop space, random-walk exploration, but NO cost
+//     model — every candidate costs a measurement.
+//   * Ansor-like: full loop space + cost model — the strongest loop-only
+//     tuner; layouts stay fixed (blocked on CPUs, canonical on GPU).
+
+#ifndef ALT_BASELINES_BASELINES_H_
+#define ALT_BASELINES_BASELINES_H_
+
+#include "src/autotune/tuner.h"
+
+namespace alt::baselines {
+
+enum class BaselineKind { kVendor, kAutoTvm, kFlexTensor, kAnsor };
+
+const char* BaselineName(BaselineKind kind);
+
+StatusOr<autotune::CompiledNetwork> RunBaseline(BaselineKind kind, const graph::Graph& graph,
+                                                const sim::Machine& machine, int budget,
+                                                uint64_t seed = 1);
+
+}  // namespace alt::baselines
+
+#endif  // ALT_BASELINES_BASELINES_H_

@@ -1,0 +1,58 @@
+#include "src/core/alt.h"
+
+#include <map>
+#include <mutex>
+
+namespace alt::core {
+
+const char* VariantName(AltVariant variant) {
+  switch (variant) {
+    case AltVariant::kFull:
+      return "ALT";
+    case AltVariant::kLoopOnly:
+      return "ALT-OL";
+    case AltVariant::kWithoutPropagation:
+      return "ALT-WP";
+  }
+  return "?";
+}
+
+const std::vector<double>& SharedPretrainedAgent(const sim::Machine& machine) {
+  static std::mutex mutex;
+  static std::map<std::string, std::vector<double>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(machine.name);
+  if (it == cache.end()) {
+    it = cache.emplace(machine.name, autotune::PretrainLayoutAgent(machine)).first;
+  }
+  return it->second;
+}
+
+StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
+                                            const sim::Machine& machine,
+                                            const AltOptions& options) {
+  autotune::TuningOptions tuning;
+  tuning.total_budget = options.budget;
+  tuning.joint_fraction = options.joint_fraction;
+  tuning.method = options.method;
+  tuning.two_level_templates = options.two_level_templates;
+  tuning.seed = options.seed;
+  switch (options.variant) {
+    case AltVariant::kFull:
+      break;
+    case AltVariant::kLoopOnly:
+      tuning.tune_layout = false;
+      tuning.fixed_layout = autotune::FixedLayout::kChannelsLast;  // NHWO / NDHWO
+      break;
+    case AltVariant::kWithoutPropagation:
+      tuning.propagate_multi_hop = false;
+      break;
+  }
+  if (tuning.tune_layout && options.method == autotune::SearchMethod::kPpoPretrained) {
+    tuning.pretrained_agent = &SharedPretrainedAgent(machine);
+  }
+  autotune::JointTuner tuner(graph, machine, tuning);
+  return tuner.Tune();
+}
+
+}  // namespace alt::core

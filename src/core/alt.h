@@ -1,0 +1,45 @@
+// ALT compiler facade: the public entry point.
+//
+//   graph::Graph g = graph::BuildResNet18(1);
+//   core::AltOptions options;
+//   auto compiled = core::Compile(g, sim::Machine::IntelCpu(), options);
+//
+// Variants mirror the paper's ablations (§7.2):
+//   * kFull — joint layout + loop tuning with full propagation (ALT).
+//   * kLoopOnly — loop tuning only, NHWO/NDHWO layouts (ALT-OL).
+//   * kWithoutPropagation — joint tuning but only direct producer-side
+//     conversion elimination, no multi-hop propagation, so fusion conflicts
+//     remain (ALT-WP).
+
+#ifndef ALT_CORE_ALT_H_
+#define ALT_CORE_ALT_H_
+
+#include "src/autotune/tuner.h"
+#include "src/baselines/baselines.h"
+
+namespace alt::core {
+
+enum class AltVariant { kFull, kLoopOnly, kWithoutPropagation };
+
+const char* VariantName(AltVariant variant);
+
+struct AltOptions {
+  int budget = 600;
+  double joint_fraction = 0.3;
+  AltVariant variant = AltVariant::kFull;
+  autotune::SearchMethod method = autotune::SearchMethod::kPpoPretrained;
+  bool two_level_templates = false;
+  uint64_t seed = 1;
+};
+
+StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
+                                            const sim::Machine& machine,
+                                            const AltOptions& options);
+
+// Lazily pretrained PPO layout agent shared across compilations (paper §6:
+// the agent is pretrained once on C2D and GMM workloads).
+const std::vector<double>& SharedPretrainedAgent(const sim::Machine& machine);
+
+}  // namespace alt::core
+
+#endif  // ALT_CORE_ALT_H_

@@ -1,0 +1,273 @@
+#include "src/core/tuning_record.h"
+
+#include <sstream>
+
+#include "src/autotune/space.h"
+#include "src/support/string_util.h"
+
+namespace alt::core {
+
+using layout::LayoutSeq;
+using layout::Primitive;
+using layout::PrimitiveKind;
+
+namespace {
+
+std::string EncodePrimitive(const Primitive& p) {
+  std::ostringstream oss;
+  switch (p.kind) {
+    case PrimitiveKind::kSplit:
+      oss << "split:" << p.dim << ":" << Join(p.factors, ",");
+      break;
+    case PrimitiveKind::kReorder:
+      oss << "reorder:" << Join(p.perm, ",");
+      break;
+    case PrimitiveKind::kFuse:
+      oss << "fuse:" << p.dim << ":" << p.num_dims;
+      break;
+    case PrimitiveKind::kUnfold:
+      oss << "unfold:" << p.dim << ":" << p.tile_size << ":" << p.stride;
+      break;
+    case PrimitiveKind::kPad:
+      oss << "pad:" << p.dim << ":" << p.pad_before << ":" << p.pad_after;
+      break;
+    case PrimitiveKind::kStoreAt:
+      oss << "store_at:" << p.store_src_tensor << ":" << p.dim;
+      break;
+  }
+  return oss.str();
+}
+
+std::vector<int64_t> ParseInts(const std::string& s) {
+  std::vector<int64_t> out;
+  for (const auto& part : Split(s, ',')) {
+    if (!part.empty()) {
+      out.push_back(std::stoll(part));
+    }
+  }
+  return out;
+}
+
+StatusOr<Primitive> DecodePrimitive(const std::string& text) {
+  auto fields = Split(text, ':');
+  if (fields.empty()) {
+    return Status::InvalidArgument("empty primitive");
+  }
+  const std::string& kind = fields[0];
+  if (kind == "split" && fields.size() == 3) {
+    return Primitive::Split(std::stoi(fields[1]), ParseInts(fields[2]));
+  }
+  if (kind == "reorder" && fields.size() == 2) {
+    std::vector<int> perm;
+    for (int64_t v : ParseInts(fields[1])) {
+      perm.push_back(static_cast<int>(v));
+    }
+    return Primitive::Reorder(perm);
+  }
+  if (kind == "fuse" && fields.size() == 3) {
+    return Primitive::Fuse(std::stoi(fields[1]), std::stoi(fields[2]));
+  }
+  if (kind == "unfold" && fields.size() == 4) {
+    return Primitive::Unfold(std::stoi(fields[1]), std::stoll(fields[2]),
+                             std::stoll(fields[3]));
+  }
+  if (kind == "pad" && fields.size() == 4) {
+    return Primitive::Pad(std::stoi(fields[1]), std::stoll(fields[2]), std::stoll(fields[3]));
+  }
+  if (kind == "store_at" && fields.size() == 3) {
+    return Primitive::StoreAt(std::stoi(fields[1]), std::stoi(fields[2]));
+  }
+  return Status::InvalidArgument("unparsable primitive: " + text);
+}
+
+}  // namespace
+
+std::string SerializeTuningRecord(const autotune::CompiledNetwork& compiled) {
+  std::ostringstream oss;
+  oss << "# ALT tuning record v1\n";
+  oss << "# network: " << compiled.graph.name() << "\n";
+  for (const auto& t : compiled.graph.tensors()) {
+    const LayoutSeq& seq = compiled.assignment.Get(t.id);
+    if (seq.empty()) {
+      continue;
+    }
+    oss << "layout " << t.name;
+    for (const auto& p : seq.primitives()) {
+      oss << " " << EncodePrimitive(p);
+    }
+    oss << "\n";
+  }
+  for (size_t i = 0; i < compiled.groups.size() && i < compiled.schedules.size(); ++i) {
+    const auto& sched = compiled.schedules[i];
+    oss << "schedule " << compiled.graph.op(compiled.groups[i].anchor_op).name;
+    oss << " s=";
+    for (size_t j = 0; j < sched.spatial.size(); ++j) {
+      if (j > 0) {
+        oss << ";";
+      }
+      oss << sched.spatial[j].outer << "," << sched.spatial[j].mid << ","
+          << sched.spatial[j].inner << "," << sched.spatial[j].vec;
+    }
+    oss << " r=";
+    for (size_t j = 0; j < sched.reduction.size(); ++j) {
+      if (j > 0) {
+        oss << ";";
+      }
+      oss << sched.reduction[j].outer << "," << sched.reduction[j].inner;
+    }
+    oss << " par=" << sched.parallel_axes << " rot=" << sched.inner_order_rotation
+        << " unroll=" << (sched.unroll_inner_reduction ? 1 : 0) << "\n";
+  }
+  return oss.str();
+}
+
+StatusOr<TuningRecord> ParseTuningRecord(const std::string& text) {
+  TuningRecord record;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    auto tokens = Split(line, ' ');
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("malformed record line: " + line);
+    }
+    if (tokens[0] == "layout") {
+      LayoutSeq seq;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i].empty()) {
+          continue;
+        }
+        auto prim = DecodePrimitive(tokens[i]);
+        if (!prim.ok()) {
+          return prim.status();
+        }
+        seq.Append(*prim);
+      }
+      record.layouts.push_back({tokens[1], std::move(seq)});
+    } else if (tokens[0] == "schedule") {
+      loop::LoopSchedule sched;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        auto kv = Split(tokens[i], '=');
+        if (kv.size() != 2) {
+          continue;
+        }
+        if (kv[0] == "s") {
+          for (const auto& axis : Split(kv[1], ';')) {
+            auto parts = ParseInts(axis);
+            if (parts.size() != 4) {
+              return Status::InvalidArgument("bad spatial axis: " + axis);
+            }
+            sched.spatial.push_back({parts[0], parts[1], parts[2], parts[3]});
+          }
+        } else if (kv[0] == "r") {
+          for (const auto& axis : Split(kv[1], ';')) {
+            if (axis.empty()) {
+              continue;
+            }
+            auto parts = ParseInts(axis);
+            if (parts.size() != 2) {
+              return Status::InvalidArgument("bad reduction axis: " + axis);
+            }
+            sched.reduction.push_back({parts[0], parts[1]});
+          }
+        } else if (kv[0] == "par") {
+          sched.parallel_axes = std::stoi(kv[1]);
+        } else if (kv[0] == "rot") {
+          sched.inner_order_rotation = std::stoi(kv[1]);
+        } else if (kv[0] == "unroll") {
+          sched.unroll_inner_reduction = kv[1] == "1";
+        }
+      }
+      record.schedules[tokens[1]] = std::move(sched);
+    } else {
+      return Status::InvalidArgument("unknown record directive: " + tokens[0]);
+    }
+  }
+  return record;
+}
+
+StatusOr<autotune::CompiledNetwork> ApplyTuningRecord(const graph::Graph& graph,
+                                                      const sim::Machine& machine,
+                                                      const TuningRecord& record) {
+  autotune::CompiledNetwork result;
+  result.graph = graph;
+  graph::Graph& g = result.graph;
+  graph::LayoutAssignment& assignment = result.assignment;
+
+  auto find_tensor = [&](const std::string& name) -> int {
+    for (const auto& t : g.tensors()) {
+      if (t.name == name) {
+        return t.id;
+      }
+    }
+    return -1;
+  };
+
+  for (const auto& [name, seq] : record.layouts) {
+    int id = find_tensor(name);
+    if (id >= 0) {
+      assignment.Set(id, seq);
+      continue;
+    }
+    // "<base>_cvt": the tuning run inserted a conversion op; re-create it
+    // on the complex consumers of the base tensor.
+    const std::string suffix = "_cvt";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      int base = find_tensor(name.substr(0, name.size() - suffix.size()));
+      if (base >= 0) {
+        bool inserted = false;
+        for (int consumer : g.ConsumersOf(base)) {
+          if (!graph::IsComplex(g.op(consumer).kind)) {
+            continue;
+          }
+          for (size_t i = 0; i < g.op(consumer).inputs.size(); ++i) {
+            if (g.op(consumer).inputs[i] == base) {
+              graph::RequestInputLayout(g, assignment, consumer, static_cast<int>(i), seq);
+              inserted = true;
+            }
+          }
+        }
+        if (inserted) {
+          continue;
+        }
+      }
+    }
+    return Status::NotFound("record references unknown tensor '" + name +
+                            "' — wrong network?");
+  }
+
+  result.groups = loop::PartitionGraph(g, assignment, true);
+  for (const auto& group : result.groups) {
+    auto sig = loop::GroupSignature(g, assignment, group);
+    if (!sig.ok()) {
+      return sig.status();
+    }
+    loop::LoopSchedule sched;
+    auto it = record.schedules.find(g.op(group.anchor_op).name);
+    if (it != record.schedules.end() &&
+        it->second.spatial.size() == sig->spatial_extents.size() &&
+        it->second.reduction.size() == sig->reduction_extents.size()) {
+      sched = it->second;
+    } else {
+      sched = autotune::LoopSpace::Default(*sig, machine);
+    }
+    auto program = loop::LowerGroup(g, assignment, group, sched);
+    if (!program.ok()) {
+      // Row ops and schedule mismatches fall back to the naive lowering.
+      program = loop::LowerGroupNaive(g, assignment, group);
+      if (!program.ok()) {
+        return program.status();
+      }
+      sched = loop::LoopSchedule::Naive(sig->spatial_extents, sig->reduction_extents);
+    }
+    result.schedules.push_back(sched);
+    result.programs.push_back(std::move(*program));
+  }
+  result.perf = sim::EstimatePrograms(result.programs, machine);
+  return result;
+}
+
+}  // namespace alt::core

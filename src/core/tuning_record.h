@@ -1,0 +1,42 @@
+// Tuning records: serialize the outcome of a tuning run (layout assignment +
+// per-group loop schedules) to a text format and re-apply it later without
+// re-searching — the equivalent of TVM/Ansor tuning logs, and what lets a
+// deployment reuse the 12–16 h tuning investment the paper describes.
+//
+// Records are keyed by tensor and operator NAMES, so they apply to any graph
+// built the same way (e.g. the same network at the same batch size).
+// Conversion operators inserted during tuning are re-created on apply.
+
+#ifndef ALT_CORE_TUNING_RECORD_H_
+#define ALT_CORE_TUNING_RECORD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/autotune/tuner.h"
+
+namespace alt::core {
+
+struct TuningRecord {
+  // Layout primitive sequences keyed by tensor name.
+  std::vector<std::pair<std::string, layout::LayoutSeq>> layouts;
+  // Loop schedules keyed by anchor-op name; missing groups use defaults.
+  std::unordered_map<std::string, loop::LoopSchedule> schedules;
+};
+
+// Serializes layouts and schedules of a compiled network.
+std::string SerializeTuningRecord(const autotune::CompiledNetwork& compiled);
+
+StatusOr<TuningRecord> ParseTuningRecord(const std::string& text);
+
+// Re-lowers `graph` under a record (no search): resolves names, re-creates
+// conversion operators where the record references "<tensor>_cvt" tensors,
+// applies recorded schedules (or defaults), returns programs + perf.
+StatusOr<autotune::CompiledNetwork> ApplyTuningRecord(const graph::Graph& graph,
+                                                      const sim::Machine& machine,
+                                                      const TuningRecord& record);
+
+}  // namespace alt::core
+
+#endif  // ALT_CORE_TUNING_RECORD_H_

@@ -1,0 +1,302 @@
+#include "src/graph/networks.h"
+
+#include <string>
+
+namespace alt::graph {
+
+namespace {
+
+// Explicit zero-padding op over the spatial dims of an N,C,spatial tensor.
+int PadSpatial(Graph& g, int input, int64_t pad, const std::string& name) {
+  if (pad == 0) {
+    return input;
+  }
+  PadAttrs attrs;
+  attrs.before.assign(g.tensor(input).shape.size(), 0);
+  attrs.after.assign(g.tensor(input).shape.size(), 0);
+  for (size_t d = 2; d < attrs.before.size(); ++d) {
+    attrs.before[d] = pad;
+    attrs.after[d] = pad;
+  }
+  return g.AddPad(input, attrs, name);
+}
+
+// conv + bias + relu; padding is an explicit operator (as in the paper's
+// computational graphs, e.g. Fig. 5 / §7.3.2).
+int ConvBnRelu(Graph& g, int input, int64_t out_channels, int64_t kernel, int64_t stride,
+               int64_t pad, const std::string& name, bool relu = true, int64_t groups = 1,
+               int64_t dilation = 1) {
+  int64_t in_channels = g.tensor(input).shape[1];
+  input = PadSpatial(g, input, pad, name + "_pad");
+  int w = g.AddConstant(name + "_w", {out_channels, in_channels / groups, kernel, kernel});
+  ConvAttrs attrs;
+  attrs.spatial_dims = 2;
+  attrs.stride[0] = attrs.stride[1] = stride;
+  attrs.groups = groups;
+  attrs.dilation[0] = attrs.dilation[1] = dilation;
+  int conv = g.AddConv(OpKind::kConv2d, input, w, attrs, name);
+  int b = g.AddConstant(name + "_b", {out_channels});
+  int biased = g.AddBiasAdd(conv, b, 1, name + "_bias");
+  return relu ? g.AddRelu(biased, name + "_relu") : biased;
+}
+
+int Conv3dBnRelu(Graph& g, int input, int64_t out_channels, int64_t kernel, int64_t stride,
+                 int64_t pad, const std::string& name, bool relu = true) {
+  int64_t in_channels = g.tensor(input).shape[1];
+  input = PadSpatial(g, input, pad, name + "_pad");
+  int w = g.AddConstant(name + "_w", {out_channels, in_channels, kernel, kernel, kernel});
+  ConvAttrs attrs;
+  attrs.spatial_dims = 3;
+  for (int d = 0; d < 3; ++d) {
+    attrs.stride[d] = stride;
+  }
+  int conv = g.AddConv(OpKind::kConv3d, input, w, attrs, name);
+  int b = g.AddConstant(name + "_b", {out_channels});
+  int biased = g.AddBiasAdd(conv, b, 1, name + "_bias");
+  return relu ? g.AddRelu(biased, name + "_relu") : biased;
+}
+
+}  // namespace
+
+Graph BuildResNet18(int64_t batch) {
+  Graph g("resnet18_b" + std::to_string(batch));
+  int x = g.AddInput("data", {batch, 3, 224, 224});
+  x = ConvBnRelu(g, x, 64, 7, 2, 3, "conv1");
+  x = PadSpatial(g, x, 1, "pool1_pad");
+  PoolAttrs pool;
+  pool.window[0] = pool.window[1] = 3;
+  pool.stride[0] = pool.stride[1] = 2;
+  x = g.AddMaxPool2d(x, pool, "pool1");
+
+  int64_t channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      std::string base = "s" + std::to_string(stage) + "b" + std::to_string(block);
+      int identity = x;
+      int y = ConvBnRelu(g, x, channels[stage], 3, stride, 1, base + "_conv1");
+      y = ConvBnRelu(g, y, channels[stage], 3, 1, 1, base + "_conv2", /*relu=*/false);
+      if (stride != 1 || g.tensor(identity).shape[1] != channels[stage]) {
+        identity = ConvBnRelu(g, x, channels[stage], 1, stride, 0, base + "_down", /*relu=*/false);
+      }
+      x = g.AddRelu(g.AddAdd(y, identity, base + "_add"), base + "_relu");
+    }
+  }
+
+  PoolAttrs gap;
+  gap.global = true;
+  x = g.AddAvgPool2d(x, gap, "gap");
+  int fc_in = g.AddReshape(x, {batch, 512}, "flatten");
+  int w = g.AddConstant("fc_w", {512, 1000});
+  int fc = g.AddMatmul(fc_in, w, "fc");
+  int b = g.AddConstant("fc_b", {1000});
+  g.AddBiasAdd(fc, b, 1, "fc_bias");
+  return g;
+}
+
+Graph BuildMobileNetV2(int64_t batch) {
+  Graph g("mobilenetv2_b" + std::to_string(batch));
+  int x = g.AddInput("data", {batch, 3, 224, 224});
+  x = ConvBnRelu(g, x, 32, 3, 2, 1, "conv1");
+
+  struct BlockCfg {
+    int64_t expand, out, stride;
+  };
+  // The standard 17-block MobileNet-V2 configuration.
+  const BlockCfg blocks[] = {
+      {1, 16, 1},  {6, 24, 2},  {6, 24, 1},  {6, 32, 2},  {6, 32, 1},  {6, 32, 1},
+      {6, 64, 2},  {6, 64, 1},  {6, 64, 1},  {6, 64, 1},  {6, 96, 1},  {6, 96, 1},
+      {6, 96, 1},  {6, 160, 2}, {6, 160, 1}, {6, 160, 1}, {6, 320, 1},
+  };
+  int idx = 0;
+  for (const auto& cfg : blocks) {
+    std::string base = "ir" + std::to_string(idx++);
+    int64_t in_c = g.tensor(x).shape[1];
+    int64_t mid = in_c * cfg.expand;
+    int y = x;
+    if (cfg.expand != 1) {
+      y = ConvBnRelu(g, y, mid, 1, 1, 0, base + "_expand");
+    }
+    // Depthwise 3x3.
+    y = ConvBnRelu(g, y, mid, 3, cfg.stride, 1, base + "_dw", /*relu=*/true, /*groups=*/mid);
+    // Linear projection.
+    y = ConvBnRelu(g, y, cfg.out, 1, 1, 0, base + "_project", /*relu=*/false);
+    if (cfg.stride == 1 && in_c == cfg.out) {
+      y = g.AddAdd(y, x, base + "_add");
+    }
+    x = y;
+  }
+  x = ConvBnRelu(g, x, 1280, 1, 1, 0, "conv_last");
+  PoolAttrs gap;
+  gap.global = true;
+  x = g.AddAvgPool2d(x, gap, "gap");
+  int fc_in = g.AddReshape(x, {batch, 1280}, "flatten");
+  int w = g.AddConstant("fc_w", {1280, 1000});
+  g.AddMatmul(fc_in, w, "fc");
+  return g;
+}
+
+Graph BuildBert(int64_t batch, int64_t hidden, int64_t layers, int64_t seq_len) {
+  Graph g("bert_h" + std::to_string(hidden) + "_b" + std::to_string(batch));
+  int64_t tokens = batch * seq_len;
+  int64_t heads = hidden / 64;
+  int64_t ffn = hidden * 4;
+  int x = g.AddInput("embeddings", {tokens, hidden});
+  for (int64_t l = 0; l < layers; ++l) {
+    std::string base = "l" + std::to_string(l);
+    // Fused QKV projection.
+    int wqkv = g.AddConstant(base + "_wqkv", {hidden, 3 * hidden});
+    int qkv = g.AddMatmul(x, wqkv, base + "_qkv");
+    int bqkv = g.AddConstant(base + "_bqkv", {3 * hidden});
+    qkv = g.AddBiasAdd(qkv, bqkv, 1, base + "_qkv_bias");
+    // Attention scores / context, flattened across batch*heads. This keeps
+    // the GMM shapes of multi-head attention (128×64 · 64×128 and
+    // 128×128 · 128×64) without batched-matmul support; see DESIGN.md.
+    int scores_a = g.AddInput(base + "_q_flat", {batch * heads * seq_len, 64});
+    int scores_b = g.AddConstant(base + "_k_flat", {64, seq_len});
+    int scores = g.AddMatmul(scores_a, scores_b, base + "_scores");
+    scores = g.AddMulScalar(scores, 0.125, base + "_scale");
+    scores = g.AddSoftmax(scores, base + "_softmax");
+    int ctx_b = g.AddConstant(base + "_v_flat", {seq_len, 64});
+    int ctx = g.AddMatmul(scores, ctx_b, base + "_context");
+    (void)ctx;
+    (void)qkv;
+    // Output projection + residual + layernorm.
+    int wo = g.AddConstant(base + "_wo", {hidden, hidden});
+    int att = g.AddMatmul(x, wo, base + "_att_out");
+    int bo = g.AddConstant(base + "_bo", {hidden});
+    att = g.AddBiasAdd(att, bo, 1, base + "_att_bias");
+    att = g.AddAdd(att, x, base + "_att_res");
+    att = g.AddLayerNorm(att, base + "_ln1");
+    // FFN.
+    int w1 = g.AddConstant(base + "_w1", {hidden, ffn});
+    int h = g.AddMatmul(att, w1, base + "_ffn1");
+    int b1 = g.AddConstant(base + "_b1", {ffn});
+    h = g.AddBiasAdd(h, b1, 1, base + "_ffn1_bias");
+    h = g.AddGelu(h, base + "_gelu");
+    int w2 = g.AddConstant(base + "_w2", {ffn, hidden});
+    h = g.AddMatmul(h, w2, base + "_ffn2");
+    int b2 = g.AddConstant(base + "_b2", {hidden});
+    h = g.AddBiasAdd(h, b2, 1, base + "_ffn2_bias");
+    h = g.AddAdd(h, att, base + "_ffn_res");
+    x = g.AddLayerNorm(h, base + "_ln2");
+  }
+  return g;
+}
+
+Graph BuildResNet3d18(int64_t batch) {
+  Graph g("resnet3d18_b" + std::to_string(batch));
+  int x = g.AddInput("data", {batch, 3, 16, 112, 112});
+  x = Conv3dBnRelu(g, x, 64, 3, 2, 1, "conv1");
+  int64_t channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < 2; ++block) {
+      int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      std::string base = "s" + std::to_string(stage) + "b" + std::to_string(block);
+      int identity = x;
+      int y = Conv3dBnRelu(g, x, channels[stage], 3, stride, 1, base + "_conv1");
+      y = Conv3dBnRelu(g, y, channels[stage], 3, 1, 1, base + "_conv2", /*relu=*/false);
+      if (stride != 1 || g.tensor(identity).shape[1] != channels[stage]) {
+        identity = Conv3dBnRelu(g, x, channels[stage], 1, stride, 0, base + "_down",
+                                /*relu=*/false);
+      }
+      x = g.AddRelu(g.AddAdd(y, identity, base + "_add"), base + "_relu");
+    }
+  }
+  return g;
+}
+
+Graph BuildFig12Subgraph(int index) {
+  ALT_CHECK(index == 1 || index == 2);
+  int64_t hw = index == 1 ? 7 : 14;
+  int64_t out2 = index == 1 ? 512 : 2048;
+  Graph g("fig12_subgraph" + std::to_string(index));
+  int x = g.AddInput("data", {1, 512, hw, hw});
+  PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  x = g.AddPad(x, pad, "pad");
+  int w1 = g.AddConstant("w1", {512, 512, 3, 3});
+  ConvAttrs a1;
+  a1.spatial_dims = 2;
+  x = g.AddConv(OpKind::kConv2d, x, w1, a1, "c2d_3x3");
+  int w2 = g.AddConstant("w2", {out2, 512, 1, 1});
+  ConvAttrs a2;
+  a2.spatial_dims = 2;
+  g.AddConv(OpKind::kConv2d, x, w2, a2, "c2d_1x1");
+  return g;
+}
+
+Graph BuildResNetFirstLayer(int64_t batch) {
+  Graph g("r18_first_layer_b" + std::to_string(batch));
+  int x = g.AddInput("data", {batch, 3, 224, 224});
+  PadAttrs pad;
+  pad.before = {0, 0, 3, 3};
+  pad.after = {0, 0, 3, 3};
+  x = g.AddPad(x, pad, "pad");  // 224 + 6 = 230 as in §7.3.1
+  int w = g.AddConstant("w", {64, 3, 7, 7});
+  ConvAttrs attrs;
+  attrs.spatial_dims = 2;
+  attrs.stride[0] = attrs.stride[1] = 2;
+  int conv = g.AddConv(OpKind::kConv2d, x, w, attrs, "conv1");
+  int b = g.AddConstant("b", {64});
+  int biased = g.AddBiasAdd(conv, b, 1, "bias");
+  g.AddRelu(biased, "relu");
+  return g;
+}
+
+Graph BuildSingleConv(OpKind kind, const ConvConfig& cfg) {
+  int sd = 2;
+  if (kind == OpKind::kConv1d) {
+    sd = 1;
+  } else if (kind == OpKind::kConv3d || kind == OpKind::kTransposedConv3d) {
+    sd = 3;
+  }
+  Graph g("single_conv");
+  std::vector<int64_t> in_shape{cfg.batch, cfg.in_channels};
+  std::vector<int64_t> w_shape;
+  bool transposed = (kind == OpKind::kTransposedConv2d || kind == OpKind::kTransposedConv3d);
+  if (transposed) {
+    w_shape = {cfg.in_channels, cfg.out_channels / cfg.groups};
+  } else {
+    w_shape = {cfg.out_channels, cfg.in_channels / cfg.groups};
+  }
+  for (int d = 0; d < sd; ++d) {
+    in_shape.push_back(cfg.spatial[d]);
+    w_shape.push_back(cfg.kernel[d]);
+  }
+  int x = g.AddInput("data", in_shape);
+  int w = g.AddConstant("weight", w_shape);
+  ConvAttrs attrs;
+  attrs.spatial_dims = sd;
+  for (int d = 0; d < sd; ++d) {
+    attrs.stride[d] = cfg.stride;
+    attrs.dilation[d] = cfg.dilation;
+    attrs.pad[d] = cfg.pad;
+  }
+  attrs.groups = cfg.groups;
+  // Forward convolutions take explicitly padded inputs (see lowering).
+  if (!transposed && cfg.pad > 0) {
+    PadAttrs pad;
+    pad.before.assign(in_shape.size(), 0);
+    pad.after.assign(in_shape.size(), 0);
+    for (int d = 0; d < sd; ++d) {
+      pad.before[2 + d] = cfg.pad;
+      pad.after[2 + d] = cfg.pad;
+      attrs.pad[d] = 0;
+    }
+    x = g.AddPad(x, pad, "pad");
+  }
+  g.AddConv(kind, x, w, attrs, "op");
+  return g;
+}
+
+Graph BuildSingleMatmul(int64_t m, int64_t k, int64_t n) {
+  Graph g("single_matmul");
+  int a = g.AddInput("A", {m, k});
+  int b = g.AddConstant("B", {k, n});
+  g.AddMatmul(a, b, "op");
+  return g;
+}
+
+}  // namespace alt::graph

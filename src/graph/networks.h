@@ -1,0 +1,47 @@
+// Builders for the evaluation networks (paper §7.2) and micro-benchmark
+// subgraphs (§7.3). Shapes follow the paper: image nets take N×3×224×224,
+// video nets N×3×16×112×112, BERT takes N×128 token sequences.
+
+#ifndef ALT_GRAPH_NETWORKS_H_
+#define ALT_GRAPH_NETWORKS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace alt::graph {
+
+Graph BuildResNet18(int64_t batch);
+Graph BuildMobileNetV2(int64_t batch);
+// hidden=768, layers=12 for BERT-base; hidden=128, layers=2 for BERT-tiny.
+Graph BuildBert(int64_t batch, int64_t hidden, int64_t layers, int64_t seq_len = 128);
+Graph BuildResNet3d18(int64_t batch);
+
+// §7.3.2 / Fig. 12 subgraphs: padding → C2D(3×3,s1) → C2D(1×1,s1).
+// Subgraph#1: H=W=7, channels 512→512→512.
+// Subgraph#2: H=W=14, channels 512→512→2048.
+Graph BuildFig12Subgraph(int index);
+
+// §7.3.4 / Table 3 and Fig. 11 workload: the first layer of ResNet-18 —
+// padding (to 230×230) → C2D(O=64, 7×7, stride 2) → bias add → ReLU.
+Graph BuildResNetFirstLayer(int64_t batch);
+
+// Single complex operator wrapped in a graph (used by Fig. 1 / Fig. 9).
+struct ConvConfig {
+  int64_t batch = 1;
+  int64_t in_channels = 64;
+  int64_t out_channels = 64;
+  int64_t spatial[3] = {56, 56, 16};  // H, W (, D for 3-D at index 2)
+  int64_t kernel[3] = {3, 3, 3};
+  int64_t stride = 1;
+  int64_t dilation = 1;
+  int64_t groups = 1;
+  int64_t pad = 1;
+};
+
+Graph BuildSingleConv(OpKind kind, const ConvConfig& cfg);
+Graph BuildSingleMatmul(int64_t m, int64_t k, int64_t n);
+
+}  // namespace alt::graph
+
+#endif  // ALT_GRAPH_NETWORKS_H_

@@ -1,0 +1,108 @@
+#include "src/graph/op.h"
+
+namespace alt::graph {
+
+bool IsComplex(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv1d:
+    case OpKind::kConv2d:
+    case OpKind::kConv3d:
+    case OpKind::kTransposedConv2d:
+    case OpKind::kTransposedConv3d:
+    case OpKind::kMatmul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsElementwise(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasAdd:
+    case OpKind::kRelu:
+    case OpKind::kGelu:
+    case OpKind::kAddTensors:
+    case OpKind::kMulScalar:
+    case OpKind::kIdentity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "input";
+    case OpKind::kConv1d:
+      return "conv1d";
+    case OpKind::kConv2d:
+      return "conv2d";
+    case OpKind::kConv3d:
+      return "conv3d";
+    case OpKind::kTransposedConv2d:
+      return "transposed_conv2d";
+    case OpKind::kTransposedConv3d:
+      return "transposed_conv3d";
+    case OpKind::kMatmul:
+      return "matmul";
+    case OpKind::kPad:
+      return "pad";
+    case OpKind::kBiasAdd:
+      return "bias_add";
+    case OpKind::kRelu:
+      return "relu";
+    case OpKind::kGelu:
+      return "gelu";
+    case OpKind::kAddTensors:
+      return "add";
+    case OpKind::kMulScalar:
+      return "mul_scalar";
+    case OpKind::kMaxPool2d:
+      return "max_pool2d";
+    case OpKind::kAvgPool2d:
+      return "avg_pool2d";
+    case OpKind::kSoftmax:
+      return "softmax";
+    case OpKind::kReshape:
+      return "reshape";
+    case OpKind::kLayerNorm:
+      return "layer_norm";
+    case OpKind::kIdentity:
+      return "identity";
+    case OpKind::kLayoutConvert:
+      return "layout_convert";
+  }
+  return "?";
+}
+
+std::string OperatorLabel(const Op& op, int64_t in_channels) {
+  switch (op.kind) {
+    case OpKind::kConv1d:
+      return "C1D";
+    case OpKind::kConv3d:
+      return "C3D";
+    case OpKind::kTransposedConv2d:
+      return "T2D";
+    case OpKind::kTransposedConv3d:
+      return "T3D";
+    case OpKind::kMatmul:
+      return "GMM";
+    case OpKind::kConv2d: {
+      if (op.conv.groups == in_channels && in_channels > 1) {
+        return "DEP";
+      }
+      if (op.conv.groups > 1) {
+        return "GRP";
+      }
+      if (op.conv.dilation[0] > 1 || op.conv.dilation[1] > 1) {
+        return "DIL";
+      }
+      return "C2D";
+    }
+    default:
+      return OpKindName(op.kind);
+  }
+}
+
+}  // namespace alt::graph

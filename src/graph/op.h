@@ -1,0 +1,97 @@
+// Operator definitions for the computational graph.
+//
+// "Complex" operators (paper §5.1) are the layout-sensitive ones that get
+// their own layout tuning templates: convolutions (incl. grouped / depthwise
+// / dilated / transposed variants) and general matrix multiplication. All
+// other operators are "simple"; layouts reach them only through propagation
+// (paper §4.2).
+
+#ifndef ALT_GRAPH_OP_H_
+#define ALT_GRAPH_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alt::graph {
+
+enum class OpKind {
+  kInput,            // graph input placeholder (no computation)
+  // --- complex operators ---
+  kConv1d,           // N,C,W * O,C/g,KW -> N,O,OW
+  kConv2d,           // N,C,H,W * O,C/g,KH,KW -> N,O,OH,OW (covers GRP/DEP/DIL)
+  kConv3d,           // N,C,D,H,W * O,C/g,KD,KH,KW -> N,O,OD,OH,OW
+  kTransposedConv2d,
+  kTransposedConv3d,
+  kMatmul,           // M,K * K,N -> M,N
+  // --- simple operators ---
+  kPad,              // zero padding of spatial dims
+  kBiasAdd,          // out[..c..] = in[..c..] + bias[c]
+  kRelu,
+  kGelu,             // tanh approximation
+  kAddTensors,       // elementwise sum of two same-shape tensors
+  kMulScalar,        // elementwise scale
+  kMaxPool2d,
+  kAvgPool2d,        // window or global
+  kSoftmax,          // over the last canonical dim
+  kReshape,          // reinterpret shape (same element count, row-major)
+  kLayerNorm,        // over the last canonical dim
+  kIdentity,
+  kLayoutConvert,    // materializes a tensor in a different physical layout
+};
+
+// Convolution attributes. For 1-D / 3-D, only the first 1 / 3 entries of the
+// spatial arrays are used.
+struct ConvAttrs {
+  int spatial_dims = 2;
+  int64_t stride[3] = {1, 1, 1};
+  int64_t dilation[3] = {1, 1, 1};
+  int64_t pad[3] = {0, 0, 0};  // symmetric zero padding per spatial dim
+  int64_t groups = 1;
+  // Transposed convs: extra size added to the output (output_padding).
+  int64_t output_pad[3] = {0, 0, 0};
+};
+
+struct PoolAttrs {
+  int64_t window[2] = {1, 1};
+  int64_t stride[2] = {1, 1};
+  int64_t pad[2] = {0, 0};
+  bool global = false;  // reduce the full spatial extent
+};
+
+struct PadAttrs {
+  // Per-dim (canonical) before/after zero padding.
+  std::vector<int64_t> before;
+  std::vector<int64_t> after;
+};
+
+struct Op {
+  int id = -1;
+  OpKind kind = OpKind::kIdentity;
+  std::string name;
+  std::vector<int> inputs;  // tensor ids (data first, then weights/bias)
+  int output = -1;          // tensor id
+
+  ConvAttrs conv;
+  PoolAttrs pool;
+  PadAttrs pad;
+  double scalar = 1.0;      // kMulScalar
+  int bias_axis = 1;        // kBiasAdd: canonical axis the bias indexes
+};
+
+// Complex operators get layout tuning templates (paper §5.1).
+bool IsComplex(OpKind kind);
+
+// Element-wise operators with identical in/out shape: layouts propagate
+// across them (paper §4.2, Algorithm 1 line 10).
+bool IsElementwise(OpKind kind);
+
+const char* OpKindName(OpKind kind);
+
+// Classified operator label used in the single-operator benchmark (Fig. 9):
+// distinguishes C2D / GRP / DEP / DIL via attributes.
+std::string OperatorLabel(const Op& op, int64_t in_channels);
+
+}  // namespace alt::graph
+
+#endif  // ALT_GRAPH_OP_H_

@@ -1,0 +1,122 @@
+#include "src/ir/eval.h"
+
+#include <algorithm>
+
+namespace alt::ir {
+
+namespace {
+
+int64_t FloorDivI(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) {
+    --q;
+  }
+  return q;
+}
+
+}  // namespace
+
+CompiledExpr CompiledExpr::Compile(const Expr& e, const VarSlotMap& slots) {
+  CompiledExpr out;
+  // Post-order flattening.
+  struct Frame {
+    const ExprNode* node;
+    bool expanded;
+  };
+  std::vector<Frame> work;
+  work.push_back({e.get(), false});
+  while (!work.empty()) {
+    Frame frame = work.back();
+    work.pop_back();
+    const ExprNode* n = frame.node;
+    if (!frame.expanded && n->kind != ExprKind::kConst && n->kind != ExprKind::kVar) {
+      work.push_back({n, true});
+      work.push_back({n->b.get(), false});
+      work.push_back({n->a.get(), false});
+      continue;
+    }
+    Op op;
+    switch (n->kind) {
+      case ExprKind::kConst:
+        op.code = OpCode::kPushConst;
+        op.imm = n->value;
+        break;
+      case ExprKind::kVar: {
+        int slot = slots.SlotOf(n->var_id);
+        ALT_CHECK_MSG(slot >= 0, "CompiledExpr: unbound var " << n->var_name);
+        op.code = OpCode::kPushVar;
+        op.imm = slot;
+        break;
+      }
+      case ExprKind::kAdd:
+        op.code = OpCode::kAdd;
+        break;
+      case ExprKind::kSub:
+        op.code = OpCode::kSub;
+        break;
+      case ExprKind::kMul:
+        op.code = OpCode::kMul;
+        break;
+      case ExprKind::kFloorDiv:
+        op.code = OpCode::kFloorDiv;
+        break;
+      case ExprKind::kMod:
+        op.code = OpCode::kMod;
+        break;
+      case ExprKind::kMin:
+        op.code = OpCode::kMin;
+        break;
+      case ExprKind::kMax:
+        op.code = OpCode::kMax;
+        break;
+    }
+    out.ops_.push_back(op);
+  }
+  out.stack_.resize(out.ops_.size() + 1);
+  return out;
+}
+
+int64_t CompiledExpr::Eval(const int64_t* env) const {
+  int64_t* sp = stack_.data();
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::kPushConst:
+        *sp++ = op.imm;
+        break;
+      case OpCode::kPushVar:
+        *sp++ = env[op.imm];
+        break;
+      case OpCode::kAdd:
+        sp[-2] = sp[-2] + sp[-1];
+        --sp;
+        break;
+      case OpCode::kSub:
+        sp[-2] = sp[-2] - sp[-1];
+        --sp;
+        break;
+      case OpCode::kMul:
+        sp[-2] = sp[-2] * sp[-1];
+        --sp;
+        break;
+      case OpCode::kFloorDiv:
+        sp[-2] = FloorDivI(sp[-2], sp[-1]);
+        --sp;
+        break;
+      case OpCode::kMod:
+        sp[-2] = sp[-2] - FloorDivI(sp[-2], sp[-1]) * sp[-1];
+        --sp;
+        break;
+      case OpCode::kMin:
+        sp[-2] = std::min(sp[-2], sp[-1]);
+        --sp;
+        break;
+      case OpCode::kMax:
+        sp[-2] = std::max(sp[-2], sp[-1]);
+        --sp;
+        break;
+    }
+  }
+  return sp[-1];
+}
+
+}  // namespace alt::ir

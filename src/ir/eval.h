@@ -1,0 +1,78 @@
+// Fast evaluation of index expressions.
+//
+// The interpreter and the trace-driven cache simulator evaluate access
+// expressions millions of times; recursing over shared_ptr trees with a hash
+// map environment is far too slow. CompiledExpr flattens an Expr into a
+// postfix program over a dense slot array of loop-variable values.
+
+#ifndef ALT_IR_EVAL_H_
+#define ALT_IR_EVAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace alt::ir {
+
+// Maps var ids to dense slots. The owner (interpreter / tracer) keeps a
+// parallel vector<int64_t> of current loop values.
+class VarSlotMap {
+ public:
+  int AddVar(int var_id) {
+    auto it = slots_.find(var_id);
+    if (it != slots_.end()) {
+      return it->second;
+    }
+    int slot = static_cast<int>(slots_.size());
+    slots_.emplace(var_id, slot);
+    return slot;
+  }
+
+  // Returns -1 when the var is unknown.
+  int SlotOf(int var_id) const {
+    auto it = slots_.find(var_id);
+    return it == slots_.end() ? -1 : it->second;
+  }
+
+  int size() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  std::unordered_map<int, int> slots_;
+};
+
+class CompiledExpr {
+ public:
+  // Compiles `e`; every var in `e` must already have a slot in `slots`.
+  static CompiledExpr Compile(const Expr& e, const VarSlotMap& slots);
+
+  int64_t Eval(const int64_t* env) const;
+
+  // True when the expression is a constant (no ops besides one push-const).
+  bool IsConstant() const { return ops_.size() == 1 && ops_[0].code == OpCode::kPushConst; }
+
+ private:
+  enum class OpCode : uint8_t {
+    kPushConst,
+    kPushVar,
+    kAdd,
+    kSub,
+    kMul,
+    kFloorDiv,
+    kMod,
+    kMin,
+    kMax,
+  };
+  struct Op {
+    OpCode code;
+    int64_t imm = 0;  // const value or slot index
+  };
+
+  std::vector<Op> ops_;
+  mutable std::vector<int64_t> stack_;
+};
+
+}  // namespace alt::ir
+
+#endif  // ALT_IR_EVAL_H_

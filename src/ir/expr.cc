@@ -1,0 +1,287 @@
+#include "src/ir/expr.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace alt::ir {
+
+namespace {
+
+std::atomic<int> g_next_var_id{0};
+
+Expr MakeBinary(ExprKind kind, const Expr& a, const Expr& b) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = kind;
+  node->a = a;
+  node->b = b;
+  return node;
+}
+
+int64_t FloorDivI(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) {
+    --q;
+  }
+  return q;
+}
+
+int64_t ModI(int64_t a, int64_t b) { return a - FloorDivI(a, b) * b; }
+
+}  // namespace
+
+int NextVarId() { return g_next_var_id.fetch_add(1); }
+
+Expr Const(int64_t v) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprKind::kConst;
+  node->value = v;
+  return node;
+}
+
+Expr MakeVar(const std::string& name) { return MakeVarWithId(name, NextVarId()); }
+
+Expr MakeVarWithId(const std::string& name, int id) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprKind::kVar;
+  node->var_id = id;
+  node->var_name = name;
+  return node;
+}
+
+Expr Add(const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(a->value + b->value);
+  }
+  if (IsZero(a)) {
+    return b;
+  }
+  if (IsZero(b)) {
+    return a;
+  }
+  return MakeBinary(ExprKind::kAdd, a, b);
+}
+
+Expr Sub(const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(a->value - b->value);
+  }
+  if (IsZero(b)) {
+    return a;
+  }
+  if (ExprEquals(a, b)) {
+    return Const(0);
+  }
+  return MakeBinary(ExprKind::kSub, a, b);
+}
+
+Expr Mul(const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(a->value * b->value);
+  }
+  if (IsZero(a) || IsZero(b)) {
+    return Const(0);
+  }
+  if (IsOne(a)) {
+    return b;
+  }
+  if (IsOne(b)) {
+    return a;
+  }
+  return MakeBinary(ExprKind::kMul, a, b);
+}
+
+Expr FloorDiv(const Expr& a, const Expr& b) {
+  ALT_CHECK_MSG(b->kind != ExprKind::kConst || b->value > 0, "floordiv by non-positive constant");
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(FloorDivI(a->value, b->value));
+  }
+  if (IsOne(b)) {
+    return a;
+  }
+  if (IsZero(a)) {
+    return Const(0);
+  }
+  // (x * c) / c == x when c divides the multiplier exactly.
+  if (b->kind == ExprKind::kConst && a->kind == ExprKind::kMul &&
+      a->b->kind == ExprKind::kConst && a->b->value % b->value == 0) {
+    return Mul(a->a, Const(a->b->value / b->value));
+  }
+  return MakeBinary(ExprKind::kFloorDiv, a, b);
+}
+
+Expr Mod(const Expr& a, const Expr& b) {
+  ALT_CHECK_MSG(b->kind != ExprKind::kConst || b->value > 0, "mod by non-positive constant");
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(ModI(a->value, b->value));
+  }
+  if (IsOne(b) || IsZero(a)) {
+    return Const(0);
+  }
+  return MakeBinary(ExprKind::kMod, a, b);
+}
+
+Expr Min(const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(std::min(a->value, b->value));
+  }
+  if (ExprEquals(a, b)) {
+    return a;
+  }
+  return MakeBinary(ExprKind::kMin, a, b);
+}
+
+Expr Max(const Expr& a, const Expr& b) {
+  if (a->kind == ExprKind::kConst && b->kind == ExprKind::kConst) {
+    return Const(std::max(a->value, b->value));
+  }
+  if (ExprEquals(a, b)) {
+    return a;
+  }
+  return MakeBinary(ExprKind::kMax, a, b);
+}
+
+Expr Add(const Expr& a, int64_t b) { return Add(a, Const(b)); }
+Expr Sub(const Expr& a, int64_t b) { return Sub(a, Const(b)); }
+Expr Mul(const Expr& a, int64_t b) { return Mul(a, Const(b)); }
+Expr FloorDiv(const Expr& a, int64_t b) { return FloorDiv(a, Const(b)); }
+Expr Mod(const Expr& a, int64_t b) { return Mod(a, Const(b)); }
+
+bool IsConst(const Expr& e, int64_t v) { return e->kind == ExprKind::kConst && e->value == v; }
+bool IsZero(const Expr& e) { return IsConst(e, 0); }
+bool IsOne(const Expr& e) { return IsConst(e, 1); }
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.get() == b.get()) {
+    return true;
+  }
+  if (a->kind != b->kind) {
+    return false;
+  }
+  switch (a->kind) {
+    case ExprKind::kConst:
+      return a->value == b->value;
+    case ExprKind::kVar:
+      return a->var_id == b->var_id;
+    default:
+      return ExprEquals(a->a, b->a) && ExprEquals(a->b, b->b);
+  }
+}
+
+Expr Substitute(const Expr& e, const std::unordered_map<int, Expr>& map) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kVar: {
+      auto it = map.find(e->var_id);
+      return it == map.end() ? e : it->second;
+    }
+    default: {
+      Expr a = Substitute(e->a, map);
+      Expr b = Substitute(e->b, map);
+      if (a.get() == e->a.get() && b.get() == e->b.get()) {
+        return e;
+      }
+      switch (e->kind) {
+        case ExprKind::kAdd:
+          return Add(a, b);
+        case ExprKind::kSub:
+          return Sub(a, b);
+        case ExprKind::kMul:
+          return Mul(a, b);
+        case ExprKind::kFloorDiv:
+          return FloorDiv(a, b);
+        case ExprKind::kMod:
+          return Mod(a, b);
+        case ExprKind::kMin:
+          return Min(a, b);
+        case ExprKind::kMax:
+          return Max(a, b);
+        default:
+          ALT_CHECK(false);
+      }
+    }
+  }
+  ALT_CHECK(false);
+  return e;
+}
+
+int64_t Eval(const Expr& e, const std::unordered_map<int, int64_t>& env) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kVar: {
+      auto it = env.find(e->var_id);
+      ALT_CHECK_MSG(it != env.end(), "unbound var " << e->var_name);
+      return it->second;
+    }
+    case ExprKind::kAdd:
+      return Eval(e->a, env) + Eval(e->b, env);
+    case ExprKind::kSub:
+      return Eval(e->a, env) - Eval(e->b, env);
+    case ExprKind::kMul:
+      return Eval(e->a, env) * Eval(e->b, env);
+    case ExprKind::kFloorDiv:
+      return FloorDivI(Eval(e->a, env), Eval(e->b, env));
+    case ExprKind::kMod:
+      return ModI(Eval(e->a, env), Eval(e->b, env));
+    case ExprKind::kMin:
+      return std::min(Eval(e->a, env), Eval(e->b, env));
+    case ExprKind::kMax:
+      return std::max(Eval(e->a, env), Eval(e->b, env));
+  }
+  ALT_CHECK(false);
+  return 0;
+}
+
+namespace {
+void CollectVarsInto(const Expr& e, std::vector<int>& out) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kVar: {
+      for (int id : out) {
+        if (id == e->var_id) {
+          return;
+        }
+      }
+      out.push_back(e->var_id);
+      return;
+    }
+    default:
+      CollectVarsInto(e->a, out);
+      CollectVarsInto(e->b, out);
+  }
+}
+}  // namespace
+
+std::vector<int> CollectVars(const Expr& e) {
+  std::vector<int> out;
+  CollectVarsInto(e, out);
+  return out;
+}
+
+std::string ToString(const Expr& e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return std::to_string(e->value);
+    case ExprKind::kVar:
+      return e->var_name;
+    case ExprKind::kAdd:
+      return "(" + ToString(e->a) + " + " + ToString(e->b) + ")";
+    case ExprKind::kSub:
+      return "(" + ToString(e->a) + " - " + ToString(e->b) + ")";
+    case ExprKind::kMul:
+      return "(" + ToString(e->a) + " * " + ToString(e->b) + ")";
+    case ExprKind::kFloorDiv:
+      return "(" + ToString(e->a) + " / " + ToString(e->b) + ")";
+    case ExprKind::kMod:
+      return "(" + ToString(e->a) + " % " + ToString(e->b) + ")";
+    case ExprKind::kMin:
+      return "min(" + ToString(e->a) + ", " + ToString(e->b) + ")";
+    case ExprKind::kMax:
+      return "max(" + ToString(e->a) + ", " + ToString(e->b) + ")";
+  }
+  return "?";
+}
+
+}  // namespace alt::ir

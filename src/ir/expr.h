@@ -1,0 +1,96 @@
+// Integer index expressions.
+//
+// These are the affine-ish scalar expressions that appear as tensor access
+// indices and loop bounds (paper §4.1, Table 1). Layout primitives rewrite
+// them (split introduces floordiv/mod, fuse introduces linear combinations,
+// unfold introduces the clamped floordiv of Eq. (1)).
+//
+// Expressions are immutable reference-counted trees. Constructor helpers do
+// local constant folding so that printed programs stay readable and the
+// evaluators stay fast.
+
+#ifndef ALT_IR_EXPR_H_
+#define ALT_IR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace alt::ir {
+
+enum class ExprKind {
+  kConst,     // integer literal
+  kVar,       // loop variable
+  kAdd,       // a + b
+  kSub,       // a - b
+  kMul,       // a * b
+  kFloorDiv,  // floor(a / b), b > 0
+  kMod,       // a mod b (non-negative for non-negative a), b > 0
+  kMin,       // min(a, b)
+  kMax,       // max(a, b)
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+class ExprNode {
+ public:
+  ExprKind kind;
+  // kConst payload.
+  int64_t value = 0;
+  // kVar payload: globally unique id plus a display name.
+  int var_id = -1;
+  std::string var_name;
+  // Binary payloads.
+  Expr a;
+  Expr b;
+};
+
+// Leaf constructors.
+Expr Const(int64_t v);
+Expr MakeVar(const std::string& name);           // fresh unique id
+Expr MakeVarWithId(const std::string& name, int id);
+int NextVarId();
+
+// Folding binary constructors.
+Expr Add(const Expr& a, const Expr& b);
+Expr Sub(const Expr& a, const Expr& b);
+Expr Mul(const Expr& a, const Expr& b);
+Expr FloorDiv(const Expr& a, const Expr& b);
+Expr Mod(const Expr& a, const Expr& b);
+Expr Min(const Expr& a, const Expr& b);
+Expr Max(const Expr& a, const Expr& b);
+
+// Convenience overloads with integer rhs.
+Expr Add(const Expr& a, int64_t b);
+Expr Sub(const Expr& a, int64_t b);
+Expr Mul(const Expr& a, int64_t b);
+Expr FloorDiv(const Expr& a, int64_t b);
+Expr Mod(const Expr& a, int64_t b);
+
+bool IsConst(const Expr& e, int64_t v);
+bool IsZero(const Expr& e);
+bool IsOne(const Expr& e);
+
+// Structural equality.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+// Replaces each var whose id appears in `map` by the mapped expression.
+Expr Substitute(const Expr& e, const std::unordered_map<int, Expr>& map);
+
+// Recursive evaluation with a var binding environment (slow path; the
+// interpreter and trace generator use CompiledExpr from eval.h).
+int64_t Eval(const Expr& e, const std::unordered_map<int, int64_t>& env);
+
+// Collects var ids appearing in the expression (deduplicated, stable order).
+std::vector<int> CollectVars(const Expr& e);
+
+std::string ToString(const Expr& e);
+
+}  // namespace alt::ir
+
+#endif  // ALT_IR_EXPR_H_

@@ -1,0 +1,130 @@
+#include "src/ir/stmt.h"
+
+#include <sstream>
+
+namespace alt::ir {
+
+Stmt MakeFor(Expr loop_var, int64_t extent, ForKind kind, Stmt body) {
+  ALT_CHECK(loop_var->kind == ExprKind::kVar);
+  ALT_CHECK(extent > 0);
+  auto node = std::make_shared<StmtNode>();
+  node->kind = StmtKind::kFor;
+  node->loop_var = std::move(loop_var);
+  node->extent = extent;
+  node->for_kind = kind;
+  node->body = std::move(body);
+  return node;
+}
+
+Stmt MakeBlock(std::vector<Stmt> stmts) {
+  if (stmts.size() == 1) {
+    return stmts[0];
+  }
+  auto node = std::make_shared<StmtNode>();
+  node->kind = StmtKind::kBlock;
+  node->stmts = std::move(stmts);
+  return node;
+}
+
+Stmt MakeStore(int tensor_id, std::vector<Expr> indices, Val value, StoreMode mode) {
+  auto node = std::make_shared<StmtNode>();
+  node->kind = StmtKind::kStore;
+  node->tensor_id = tensor_id;
+  node->indices = std::move(indices);
+  node->value = std::move(value);
+  node->mode = mode;
+  return node;
+}
+
+int64_t CountStoreExecutions(const Stmt& stmt) {
+  switch (stmt->kind) {
+    case StmtKind::kStore:
+      return 1;
+    case StmtKind::kBlock: {
+      int64_t total = 0;
+      for (const auto& s : stmt->stmts) {
+        total += CountStoreExecutions(s);
+      }
+      return total;
+    }
+    case StmtKind::kFor:
+      return stmt->extent * CountStoreExecutions(stmt->body);
+  }
+  return 0;
+}
+
+namespace {
+const char* ForKindName(ForKind kind) {
+  switch (kind) {
+    case ForKind::kSerial:
+      return "for";
+    case ForKind::kParallel:
+      return "parallel for";
+    case ForKind::kVectorized:
+      return "vectorized for";
+    case ForKind::kUnrolled:
+      return "unrolled for";
+  }
+  return "for";
+}
+}  // namespace
+
+std::string ToString(const Stmt& stmt, int indent) {
+  std::ostringstream oss;
+  std::string pad(indent * 2, ' ');
+  switch (stmt->kind) {
+    case StmtKind::kFor: {
+      oss << pad << ForKindName(stmt->for_kind) << " " << stmt->loop_var->var_name << " in [0, "
+          << stmt->extent << "):\n";
+      oss << ToString(stmt->body, indent + 1);
+      break;
+    }
+    case StmtKind::kBlock: {
+      for (const auto& s : stmt->stmts) {
+        oss << ToString(s, indent);
+      }
+      break;
+    }
+    case StmtKind::kStore: {
+      oss << pad << "T" << stmt->tensor_id;
+      for (const auto& idx : stmt->indices) {
+        oss << "[" << ToString(idx) << "]";
+      }
+      oss << (stmt->mode == StoreMode::kAssign ? " = " : " += ");
+      oss << ToString(stmt->value) << "\n";
+      break;
+    }
+  }
+  return oss.str();
+}
+
+std::string ToString(const Program& program) {
+  std::ostringstream oss;
+  oss << "program " << program.name << " {\n";
+  for (const auto& b : program.buffers) {
+    const char* role = "tmp";
+    switch (b.role) {
+      case BufferRole::kInput:
+        role = "in";
+        break;
+      case BufferRole::kOutput:
+        role = "out";
+        break;
+      case BufferRole::kIntermediate:
+        role = "tmp";
+        break;
+      case BufferRole::kConstant:
+        role = "const";
+        break;
+    }
+    oss << "  buffer T" << b.tensor.id << " \"" << b.tensor.name << "\" " << role << " "
+        << ShapeToString(b.tensor.shape) << "\n";
+  }
+  if (program.root) {
+    oss << ToString(program.root, 1);
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace alt::ir

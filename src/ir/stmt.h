@@ -1,0 +1,90 @@
+// Loop-nest statement IR and lowered programs.
+//
+// A Program is the unit that the simulator estimates and the interpreter
+// executes: a set of buffer declarations plus a statement tree of For /
+// Block / Store nodes (the shape of Fig. 3 / Fig. 6 / Fig. 7 in the paper).
+
+#ifndef ALT_IR_STMT_H_
+#define ALT_IR_STMT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/tensor.h"
+#include "src/ir/value.h"
+
+namespace alt::ir {
+
+enum class ForKind {
+  kSerial,
+  kParallel,    // multi-core worker loop
+  kVectorized,  // SIMD lanes
+  kUnrolled,
+};
+
+enum class StmtKind { kFor, kBlock, kStore };
+
+enum class StoreMode { kAssign, kAccumulate };
+
+class StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+class StmtNode {
+ public:
+  StmtKind kind;
+
+  // kFor payload.
+  Expr loop_var;          // must be ExprKind::kVar
+  int64_t extent = 0;
+  ForKind for_kind = ForKind::kSerial;
+  Stmt body;
+
+  // kBlock payload.
+  std::vector<Stmt> stmts;
+
+  // kStore payload.
+  int tensor_id = -1;
+  std::vector<Expr> indices;
+  Val value;
+  StoreMode mode = StoreMode::kAssign;
+};
+
+Stmt MakeFor(Expr loop_var, int64_t extent, ForKind kind, Stmt body);
+Stmt MakeBlock(std::vector<Stmt> stmts);
+Stmt MakeStore(int tensor_id, std::vector<Expr> indices, Val value,
+               StoreMode mode = StoreMode::kAssign);
+
+struct BufferDecl {
+  Tensor tensor;
+  BufferRole role = BufferRole::kIntermediate;
+};
+
+// A lowered, executable program for one fused operator group (or a whole
+// network when programs are concatenated by the session).
+struct Program {
+  std::string name;
+  std::vector<BufferDecl> buffers;  // indexed by position; tensor.id is the key
+  Stmt root;
+
+  const BufferDecl* FindBuffer(int tensor_id) const {
+    for (const auto& b : buffers) {
+      if (b.tensor.id == tensor_id) {
+        return &b;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Total number of innermost store executions (product of loop extents above
+// each store). Useful as a quick work estimate and in tests.
+int64_t CountStoreExecutions(const Stmt& stmt);
+
+// Pretty-prints the statement tree with indentation.
+std::string ToString(const Stmt& stmt, int indent = 0);
+std::string ToString(const Program& program);
+
+}  // namespace alt::ir
+
+#endif  // ALT_IR_STMT_H_

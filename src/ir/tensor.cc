@@ -1,0 +1,28 @@
+#include "src/ir/tensor.h"
+
+#include <sstream>
+
+namespace alt::ir {
+
+std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace alt::ir

@@ -1,0 +1,93 @@
+// Floating-point value expressions: the right-hand sides of stores.
+//
+// A value expression reads tensors through Load nodes whose indices are
+// integer index expressions (expr.h). Guarded loads (kSelect with interval
+// conditions over index expressions) model zero-padding without materializing
+// padded buffers, mirroring how TE expresses `if_then_else` padding.
+
+#ifndef ALT_IR_VALUE_H_
+#define ALT_IR_VALUE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace alt::ir {
+
+enum class ValKind {
+  kImm,     // float literal
+  kLoad,    // tensor[indices...]
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,
+  kMin,
+  kExp,     // unary
+  kTanh,    // unary
+  kSqrt,    // unary
+  kSelect,  // conditions ? a : b
+};
+
+class ValNode;
+using Val = std::shared_ptr<const ValNode>;
+
+// Interval guard: lo <= expr < hi, and expr ≡ rem (mod modulus). A Select's
+// guards are ANDed together. The modulus arm (default 1 == always true)
+// exists for transposed convolutions, whose gather form only reads input
+// positions divisible by the stride.
+struct IntervalCond {
+  Expr expr;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t modulus = 1;
+  int64_t rem = 0;
+};
+
+class ValNode {
+ public:
+  ValKind kind;
+  double imm = 0.0;                  // kImm
+  int tensor_id = -1;                // kLoad
+  std::vector<Expr> indices;         // kLoad
+  Val a;                             // binary / unary / select-then
+  Val b;                             // binary / select-else
+  std::vector<IntervalCond> conds;   // kSelect
+};
+
+Val Imm(double v);
+Val Load(int tensor_id, std::vector<Expr> indices);
+Val VAdd(const Val& a, const Val& b);
+Val VSub(const Val& a, const Val& b);
+Val VMul(const Val& a, const Val& b);
+Val VDiv(const Val& a, const Val& b);
+Val VMax(const Val& a, const Val& b);
+Val VMin(const Val& a, const Val& b);
+Val VExp(const Val& a);
+Val VTanh(const Val& a);
+Val VSqrt(const Val& a);
+Val Select(std::vector<IntervalCond> conds, const Val& then_val, const Val& else_val);
+
+// Applies an index-expression rewrite to every Load index and guard.
+Val RewriteIndices(const Val& v, const std::function<Expr(const Expr&)>& fn);
+
+// Rewrites only loads of `tensor_id`, mapping its index vector wholesale.
+Val RewriteLoadsOfTensor(
+    const Val& v, int tensor_id,
+    const std::function<std::vector<Expr>(const std::vector<Expr>&)>& fn);
+
+// Substitutes loop vars inside all index expressions and guards.
+Val SubstituteVal(const Val& v, const std::unordered_map<int, Expr>& map);
+
+// Collects ids of all tensors loaded by the expression (dedup, stable order).
+std::vector<int> CollectLoadTensors(const Val& v);
+
+std::string ToString(const Val& v);
+
+}  // namespace alt::ir
+
+#endif  // ALT_IR_VALUE_H_

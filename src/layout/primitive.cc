@@ -1,0 +1,488 @@
+#include "src/layout/primitive.h"
+
+#include <sstream>
+
+#include "src/support/string_util.h"
+
+namespace alt::layout {
+
+using ir::Expr;
+
+Primitive Primitive::Split(int dim, std::vector<int64_t> factors) {
+  Primitive p;
+  p.kind = PrimitiveKind::kSplit;
+  p.dim = dim;
+  p.factors = std::move(factors);
+  return p;
+}
+
+Primitive Primitive::Reorder(std::vector<int> perm) {
+  Primitive p;
+  p.kind = PrimitiveKind::kReorder;
+  p.perm = std::move(perm);
+  return p;
+}
+
+Primitive Primitive::Fuse(int dim, int num_dims) {
+  Primitive p;
+  p.kind = PrimitiveKind::kFuse;
+  p.dim = dim;
+  p.num_dims = num_dims;
+  return p;
+}
+
+Primitive Primitive::Unfold(int dim, int64_t tile_size, int64_t stride) {
+  Primitive p;
+  p.kind = PrimitiveKind::kUnfold;
+  p.dim = dim;
+  p.tile_size = tile_size;
+  p.stride = stride;
+  return p;
+}
+
+Primitive Primitive::Pad(int dim, int64_t before, int64_t after) {
+  Primitive p;
+  p.kind = PrimitiveKind::kPad;
+  p.dim = dim;
+  p.pad_before = before;
+  p.pad_after = after;
+  return p;
+}
+
+Primitive Primitive::StoreAt(int src_tensor, int dim) {
+  Primitive p;
+  p.kind = PrimitiveKind::kStoreAt;
+  p.dim = dim;
+  p.store_src_tensor = src_tensor;
+  return p;
+}
+
+bool Primitive::IsNontrivialAdvanced() const {
+  switch (kind) {
+    case PrimitiveKind::kUnfold:
+      // Overlapped tiling duplicates data whenever the stride is smaller than
+      // the tile; a non-overlapping unfold (S == B) is an ordinary split.
+      return stride < tile_size;
+    case PrimitiveKind::kPad:
+      return pad_before != 0 || pad_after != 0;
+    case PrimitiveKind::kStoreAt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<double> Primitive::StateVector() const {
+  std::vector<double> s;
+  s.push_back(static_cast<double>(kind));
+  s.push_back(dim);
+  switch (kind) {
+    case PrimitiveKind::kSplit:
+      for (int64_t f : factors) {
+        s.push_back(static_cast<double>(f));
+      }
+      break;
+    case PrimitiveKind::kReorder:
+      for (int d : perm) {
+        s.push_back(d);
+      }
+      break;
+    case PrimitiveKind::kFuse:
+      s.push_back(num_dims);
+      break;
+    case PrimitiveKind::kUnfold:
+      s.push_back(static_cast<double>(tile_size));
+      s.push_back(static_cast<double>(stride));
+      break;
+    case PrimitiveKind::kPad:
+      s.push_back(static_cast<double>(pad_before));
+      s.push_back(static_cast<double>(pad_after));
+      break;
+    case PrimitiveKind::kStoreAt:
+      s.push_back(store_src_tensor);
+      break;
+  }
+  return s;
+}
+
+std::string Primitive::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case PrimitiveKind::kSplit:
+      oss << "split(dim=" << dim << ", factors=[" << Join(factors, ", ") << "])";
+      break;
+    case PrimitiveKind::kReorder:
+      oss << "reorder(perm=[" << Join(perm, ", ") << "])";
+      break;
+    case PrimitiveKind::kFuse:
+      oss << "fuse(dim=" << dim << ", num=" << num_dims << ")";
+      break;
+    case PrimitiveKind::kUnfold:
+      oss << "unfold(dim=" << dim << ", tile=" << tile_size << ", stride=" << stride << ")";
+      break;
+    case PrimitiveKind::kPad:
+      oss << "pad(dim=" << dim << ", before=" << pad_before << ", after=" << pad_after << ")";
+      break;
+    case PrimitiveKind::kStoreAt:
+      oss << "store_at(src=T" << store_src_tensor << ", dim=" << dim << ")";
+      break;
+  }
+  return oss.str();
+}
+
+namespace {
+
+// Number of tiles an unfold produces: ceil((D - B) / S) + 1 (paper §4.1.2).
+int64_t UnfoldTiles(int64_t extent, int64_t tile, int64_t stride) {
+  int64_t n = (extent - tile + stride - 1) / stride + 1;
+  return n < 1 ? 1 : n;
+}
+
+Status ApplyPrimitiveToShape(const Primitive& p, std::vector<int64_t>& shape) {
+  int rank = static_cast<int>(shape.size());
+  switch (p.kind) {
+    case PrimitiveKind::kSplit: {
+      if (p.dim < 0 || p.dim >= rank) {
+        return Status::InvalidArgument("split: dim out of range");
+      }
+      int64_t prod = 1;
+      for (int64_t f : p.factors) {
+        if (f <= 0) {
+          return Status::InvalidArgument("split: non-positive factor");
+        }
+        prod *= f;
+      }
+      if (prod != shape[p.dim]) {
+        return Status::InvalidArgument("split: factors do not multiply to the extent");
+      }
+      shape.erase(shape.begin() + p.dim);
+      shape.insert(shape.begin() + p.dim, p.factors.begin(), p.factors.end());
+      return Status::Ok();
+    }
+    case PrimitiveKind::kReorder: {
+      if (static_cast<int>(p.perm.size()) != rank) {
+        return Status::InvalidArgument("reorder: permutation size mismatch");
+      }
+      std::vector<bool> seen(rank, false);
+      std::vector<int64_t> out(rank);
+      for (int d = 0; d < rank; ++d) {
+        int s = p.perm[d];
+        if (s < 0 || s >= rank || seen[s]) {
+          return Status::InvalidArgument("reorder: invalid permutation");
+        }
+        seen[s] = true;
+        out[d] = shape[s];
+      }
+      shape = std::move(out);
+      return Status::Ok();
+    }
+    case PrimitiveKind::kFuse: {
+      if (p.dim < 0 || p.num_dims < 2 || p.dim + p.num_dims > rank) {
+        return Status::InvalidArgument("fuse: dim range out of bounds");
+      }
+      int64_t prod = 1;
+      for (int i = 0; i < p.num_dims; ++i) {
+        prod *= shape[p.dim + i];
+      }
+      shape.erase(shape.begin() + p.dim, shape.begin() + p.dim + p.num_dims);
+      shape.insert(shape.begin() + p.dim, prod);
+      return Status::Ok();
+    }
+    case PrimitiveKind::kUnfold: {
+      if (p.dim < 0 || p.dim >= rank) {
+        return Status::InvalidArgument("unfold: dim out of range");
+      }
+      if (p.tile_size <= 0 || p.stride <= 0 || p.stride > p.tile_size) {
+        return Status::InvalidArgument("unfold: require 0 < stride <= tile_size");
+      }
+      if (p.tile_size > shape[p.dim]) {
+        return Status::InvalidArgument("unfold: tile larger than extent");
+      }
+      int64_t tiles = UnfoldTiles(shape[p.dim], p.tile_size, p.stride);
+      shape[p.dim] = tiles;
+      shape.insert(shape.begin() + p.dim + 1, p.tile_size);
+      return Status::Ok();
+    }
+    case PrimitiveKind::kPad: {
+      if (p.dim < 0 || p.dim >= rank) {
+        return Status::InvalidArgument("pad: dim out of range");
+      }
+      if (p.pad_before < 0 || p.pad_after < 0) {
+        return Status::InvalidArgument("pad: negative padding");
+      }
+      shape[p.dim] += p.pad_before + p.pad_after;
+      return Status::Ok();
+    }
+    case PrimitiveKind::kStoreAt: {
+      if (p.dim < 0 || p.dim >= rank) {
+        return Status::InvalidArgument("store_at: dim out of range");
+      }
+      shape[p.dim] += 1;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown primitive");
+}
+
+}  // namespace
+
+bool LayoutSeq::HasNontrivialAdvanced() const {
+  for (const auto& p : prims_) {
+    if (p.IsNontrivialAdvanced()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status LayoutSeq::ApplyToShape(std::vector<int64_t>& shape) const {
+  for (const auto& p : prims_) {
+    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Expr>> LayoutSeq::MapRead(
+    const std::vector<int64_t>& original_shape, const std::vector<Expr>& indices,
+    const std::vector<std::optional<WindowPattern>>& patterns) const {
+  std::vector<int64_t> shape = original_shape;
+  std::vector<Expr> idx = indices;
+  std::vector<std::optional<WindowPattern>> pat = patterns;
+  pat.resize(idx.size());
+
+  for (const auto& p : prims_) {
+    int rank = static_cast<int>(shape.size());
+    switch (p.kind) {
+      case PrimitiveKind::kSplit: {
+        Expr e = idx[p.dim];
+        std::vector<Expr> parts;
+        int m = static_cast<int>(p.factors.size());
+        int64_t inner = 1;
+        for (int l = 1; l < m; ++l) {
+          inner *= p.factors[l];
+        }
+        for (int l = 0; l < m; ++l) {
+          Expr part = ir::FloorDiv(e, inner);
+          if (l > 0) {
+            part = ir::Mod(part, p.factors[l]);
+          }
+          parts.push_back(part);
+          if (l + 1 < m) {
+            inner /= p.factors[l + 1];
+          }
+        }
+        idx.erase(idx.begin() + p.dim);
+        idx.insert(idx.begin() + p.dim, parts.begin(), parts.end());
+        pat.erase(pat.begin() + p.dim);
+        pat.insert(pat.begin() + p.dim, static_cast<size_t>(m), std::nullopt);
+        break;
+      }
+      case PrimitiveKind::kReorder: {
+        std::vector<Expr> out(rank);
+        std::vector<std::optional<WindowPattern>> pout(rank);
+        for (int d = 0; d < rank; ++d) {
+          out[d] = idx[p.perm[d]];
+          pout[d] = pat[p.perm[d]];
+        }
+        idx = std::move(out);
+        pat = std::move(pout);
+        break;
+      }
+      case PrimitiveKind::kFuse: {
+        Expr fused = idx[p.dim];
+        for (int i = 1; i < p.num_dims; ++i) {
+          fused = ir::Add(ir::Mul(fused, shape[p.dim + i]), idx[p.dim + i]);
+        }
+        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + p.num_dims);
+        idx.insert(idx.begin() + p.dim, fused);
+        pat.erase(pat.begin() + p.dim, pat.begin() + p.dim + p.num_dims);
+        pat.insert(pat.begin() + p.dim, std::nullopt);
+        break;
+      }
+      case PrimitiveKind::kUnfold: {
+        int64_t extent = shape[p.dim];
+        int64_t tiles = UnfoldTiles(extent, p.tile_size, p.stride);
+        Expr tile;
+        Expr offset;
+        const auto& wp = pat[p.dim];
+        bool window_form = false;
+        if (wp.has_value() && (p.tile_size - wp->window_size) % wp->stride == 0) {
+          // Eq. (1): windows per tile; valid when tiles advance by whole
+          // windows so a window never straddles tiles.
+          int64_t wpt = (p.tile_size - wp->window_size) / wp->stride + 1;
+          if (p.stride == wp->stride * wpt) {
+            tile = ir::FloorDiv(wp->base, wpt);
+            offset = ir::Add(ir::Mul(ir::Mod(wp->base, wpt), wp->stride), wp->window);
+            window_form = true;
+          }
+        }
+        if (!window_form) {
+          // Canonical representative: the copy in the last tile containing
+          // the element with the smallest tile index.
+          Expr e = idx[p.dim];
+          tile = ir::Min(ir::FloorDiv(e, p.stride), ir::Const(tiles - 1));
+          offset = ir::Sub(e, ir::Mul(tile, p.stride));
+        }
+        idx[p.dim] = tile;
+        idx.insert(idx.begin() + p.dim + 1, offset);
+        pat[p.dim] = std::nullopt;
+        pat.insert(pat.begin() + p.dim + 1, std::nullopt);
+        break;
+      }
+      case PrimitiveKind::kPad: {
+        idx[p.dim] = ir::Add(idx[p.dim], p.pad_before);
+        if (pat[p.dim].has_value()) {
+          // Shifting the base keeps the window decomposition valid.
+          auto wp = *pat[p.dim];
+          if (p.pad_before % wp.stride == 0) {
+            wp.base = ir::Add(wp.base, p.pad_before / wp.stride);
+            pat[p.dim] = wp;
+          } else {
+            pat[p.dim] = std::nullopt;
+          }
+        }
+        break;
+      }
+      case PrimitiveKind::kStoreAt: {
+        // Reads of the destination tensor are unchanged; the attached source
+        // occupies the extra trailing slice and is rewritten by the lowering.
+        break;
+      }
+    }
+    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
+  }
+  return idx;
+}
+
+StatusOr<std::vector<Expr>> LayoutSeq::MapInverse(const std::vector<int64_t>& original_shape,
+                                                  const std::vector<Expr>& new_indices) const {
+  // Record the shape before each primitive.
+  std::vector<std::vector<int64_t>> shapes;
+  std::vector<int64_t> shape = original_shape;
+  for (const auto& p : prims_) {
+    shapes.push_back(shape);
+    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
+  }
+
+  std::vector<Expr> idx = new_indices;
+  for (int pi = static_cast<int>(prims_.size()) - 1; pi >= 0; --pi) {
+    const Primitive& p = prims_[pi];
+    const std::vector<int64_t>& before = shapes[pi];
+    switch (p.kind) {
+      case PrimitiveKind::kSplit: {
+        int m = static_cast<int>(p.factors.size());
+        Expr combined = idx[p.dim];
+        for (int l = 1; l < m; ++l) {
+          combined = ir::Add(ir::Mul(combined, p.factors[l]), idx[p.dim + l]);
+        }
+        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + m);
+        idx.insert(idx.begin() + p.dim, combined);
+        break;
+      }
+      case PrimitiveKind::kReorder: {
+        int rank = static_cast<int>(p.perm.size());
+        std::vector<Expr> out(rank);
+        for (int d = 0; d < rank; ++d) {
+          out[p.perm[d]] = idx[d];
+        }
+        idx = std::move(out);
+        break;
+      }
+      case PrimitiveKind::kFuse: {
+        Expr fused = idx[p.dim];
+        std::vector<Expr> parts(p.num_dims);
+        int64_t inner = 1;
+        for (int i = 1; i < p.num_dims; ++i) {
+          inner *= before[p.dim + i];
+        }
+        for (int i = 0; i < p.num_dims; ++i) {
+          Expr part = ir::FloorDiv(fused, inner);
+          if (i > 0) {
+            part = ir::Mod(part, before[p.dim + i]);
+          }
+          parts[i] = part;
+          if (i + 1 < p.num_dims) {
+            inner /= before[p.dim + i + 1];
+          }
+        }
+        idx.erase(idx.begin() + p.dim);
+        idx.insert(idx.begin() + p.dim, parts.begin(), parts.end());
+        break;
+      }
+      case PrimitiveKind::kUnfold: {
+        Expr original = ir::Add(ir::Mul(idx[p.dim], p.stride), idx[p.dim + 1]);
+        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + 2);
+        idx.insert(idx.begin() + p.dim, original);
+        break;
+      }
+      case PrimitiveKind::kPad: {
+        idx[p.dim] = ir::Sub(idx[p.dim], p.pad_before);
+        break;
+      }
+      case PrimitiveKind::kStoreAt:
+        break;
+    }
+  }
+  return idx;
+}
+
+StatusOr<LayoutSeq> LayoutSeq::Inverted(const std::vector<int64_t>& original_shape) const {
+  // Record the shape before each primitive, then invert back-to-front.
+  std::vector<std::vector<int64_t>> shapes;
+  std::vector<int64_t> shape = original_shape;
+  for (const auto& p : prims_) {
+    shapes.push_back(shape);
+    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
+  }
+  LayoutSeq inverse;
+  for (int i = static_cast<int>(prims_.size()) - 1; i >= 0; --i) {
+    const Primitive& p = prims_[i];
+    const std::vector<int64_t>& before = shapes[i];
+    switch (p.kind) {
+      case PrimitiveKind::kSplit:
+        inverse.Append(Primitive::Fuse(p.dim, static_cast<int>(p.factors.size())));
+        break;
+      case PrimitiveKind::kFuse: {
+        std::vector<int64_t> extents(before.begin() + p.dim,
+                                     before.begin() + p.dim + p.num_dims);
+        inverse.Append(Primitive::Split(p.dim, std::move(extents)));
+        break;
+      }
+      case PrimitiveKind::kReorder: {
+        std::vector<int> inv(p.perm.size());
+        for (size_t d = 0; d < p.perm.size(); ++d) {
+          inv[p.perm[d]] = static_cast<int>(d);
+        }
+        inverse.Append(Primitive::Reorder(std::move(inv)));
+        break;
+      }
+      default:
+        return Status::Unimplemented(
+            "advanced primitives invert via MapInverse / Canonicalize, not as "
+            "forward primitives");
+    }
+  }
+  return inverse;
+}
+
+std::vector<double> LayoutSeq::StateVector() const {
+  std::vector<double> s;
+  for (const auto& p : prims_) {
+    auto ps = p.StateVector();
+    s.insert(s.end(), ps.begin(), ps.end());
+  }
+  return s;
+}
+
+std::string LayoutSeq::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < prims_.size(); ++i) {
+    if (i > 0) {
+      oss << "; ";
+    }
+    oss << prims_[i].ToString();
+  }
+  return oss.str();
+}
+
+}  // namespace alt::layout

@@ -1,0 +1,127 @@
+// Layout transformation primitives (paper §4.1, Table 1).
+//
+// Basic primitives: split, reorder, fuse. Advanced primitives: unfold
+// (overlapped tiling, Fig. 2 / Eq. (1)), pad, store_at. Each primitive has an
+// inverse (fold, unpad, decouple_at are the advanced inverses); LayoutSeq
+// composes primitives and exposes:
+//
+//   * the forward shape transform,
+//   * the forward access-expression rewrite (how reads of the tensor written
+//     with ORIGINAL indices are redirected into the NEW physical layout),
+//   * the inverse access map (how canonical indices are reconstructed from
+//     new-layout loop variables — the S^-1 of paper §6).
+
+#ifndef ALT_LAYOUT_PRIMITIVE_H_
+#define ALT_LAYOUT_PRIMITIVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/support/status.h"
+
+namespace alt::layout {
+
+enum class PrimitiveKind { kSplit, kReorder, kFuse, kUnfold, kPad, kStoreAt };
+
+// A sliding-window access decomposition: index = stride * base + window,
+// where `window` ranges over [0, window_size). Convolution lowerings pass
+// these so unfold can apply the Eq. (1) window-aware rewrite instead of the
+// canonical-representative rewrite.
+struct WindowPattern {
+  ir::Expr base;          // the window position iterator (e.g. output row)
+  int64_t stride = 1;     // convolutional stride V
+  ir::Expr window;        // the intra-window offset iterator (e.g. rh)
+  int64_t window_size = 1;  // M: extent of `window`
+};
+
+struct Primitive {
+  PrimitiveKind kind;
+
+  // kSplit: splits dimension `dim` into factors (product must equal the old
+  // extent). kFuse: fuses `num_dims` dims starting at `dim`. kUnfold / kPad
+  // target `dim`.
+  int dim = 0;
+  std::vector<int64_t> factors;  // kSplit: new sub-extents, outer first
+  std::vector<int> perm;         // kReorder: new dim d reads old dim perm[d]
+  int num_dims = 0;              // kFuse
+  int64_t tile_size = 0;         // kUnfold: B
+  int64_t stride = 0;            // kUnfold: S (requires S <= B)
+  int64_t pad_before = 0;        // kPad
+  int64_t pad_after = 0;         // kPad
+  int store_src_tensor = -1;     // kStoreAt: tensor attached into `dim`
+
+  static Primitive Split(int dim, std::vector<int64_t> factors);
+  static Primitive Reorder(std::vector<int> perm);
+  static Primitive Fuse(int dim, int num_dims);
+  static Primitive Unfold(int dim, int64_t tile_size, int64_t stride);
+  static Primitive Pad(int dim, int64_t before, int64_t after);
+  static Primitive StoreAt(int src_tensor, int dim);
+
+  // True for advanced primitives that duplicate or extend data (paper §4.2:
+  // propagation stops at "non-trivial advanced primitives").
+  bool IsNontrivialAdvanced() const;
+
+  // Flattened numeric description of the primitive's current parameters; the
+  // concatenation over a sequence forms the RL state (paper §5.2.1).
+  std::vector<double> StateVector() const;
+
+  std::string ToString() const;
+};
+
+// An ordered sequence of primitives applied to one tensor.
+class LayoutSeq {
+ public:
+  LayoutSeq() = default;
+
+  LayoutSeq& Append(Primitive p) {
+    prims_.push_back(std::move(p));
+    return *this;
+  }
+
+  bool empty() const { return prims_.empty(); }
+  size_t size() const { return prims_.size(); }
+  const std::vector<Primitive>& primitives() const { return prims_; }
+
+  bool HasNontrivialAdvanced() const;
+
+  // Applies the sequence to a shape. Fails when a primitive is inapplicable
+  // (e.g. split factors do not divide the extent).
+  Status ApplyToShape(std::vector<int64_t>& shape) const;
+
+  // Forward access rewrite: given the indices a consumer uses against the
+  // ORIGINAL layout (optionally annotated with window patterns, parallel to
+  // the index vector), returns indices into the NEW layout.
+  StatusOr<std::vector<ir::Expr>> MapRead(
+      const std::vector<int64_t>& original_shape, const std::vector<ir::Expr>& indices,
+      const std::vector<std::optional<WindowPattern>>& patterns = {}) const;
+
+  // Inverse access map: given loop vars / exprs over the NEW layout dims,
+  // reconstructs the canonical (original-layout) indices. Sequences with
+  // unfold are inverted via old = tile * S + offset (any duplicate maps back
+  // to the same canonical element).
+  StatusOr<std::vector<ir::Expr>> MapInverse(const std::vector<int64_t>& original_shape,
+                                             const std::vector<ir::Expr>& new_indices) const;
+
+  // Inverse sequence built from forward primitives (split <-> fuse, reorder
+  // <-> inverse permutation): applying Inverted() to the transformed shape
+  // recovers the original layout. Only defined for BASIC primitive sequences;
+  // the advanced primitives' inverses (fold / unpad / decouple_at) are
+  // realized functionally by MapInverse / runtime::Canonicalize, since they
+  // drop duplicated or padded data and are not shape-preserving rewrites.
+  StatusOr<LayoutSeq> Inverted(const std::vector<int64_t>& original_shape) const;
+
+  // RL state for this sequence (paper §5.2.1): concatenated primitive states.
+  std::vector<double> StateVector() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Primitive> prims_;
+};
+
+}  // namespace alt::layout
+
+#endif  // ALT_LAYOUT_PRIMITIVE_H_

@@ -1,0 +1,80 @@
+// Lowering: computational graph + layout assignment + loop schedule → Program.
+//
+// This implements the compilation pass of paper §6: the loop nest of an
+// operator mirrors the PHYSICAL dimensions of its output tensor one-to-one.
+// Given the output's primitive sequence S_Y, loop variables L' range over the
+// transformed shape; canonical indices are reconstructed as S_Y^{-1}(L') and
+// every input access S_X(S_Y^{-1}(L')) is rewritten through the input's own
+// sequence S_X — so changing a layout never requires re-implementing the
+// operator.
+//
+// Operator fusion follows §4.2: an element-wise consumer fuses into its
+// producer's loop nest only when both outputs share the same physical layout
+// (the layout-propagation mechanism exists precisely to make this align).
+
+#ifndef ALT_LOOP_LOWERING_H_
+#define ALT_LOOP_LOWERING_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/layout_assignment.h"
+#include "src/ir/stmt.h"
+#include "src/loop/schedule.h"
+
+namespace alt::loop {
+
+// One fused loop nest: an anchor operator plus a chain of element-wise
+// consumers computed at its tile level.
+struct FusedGroup {
+  int anchor_op = -1;
+  std::vector<int> fused_ops;  // in dataflow order
+
+  // The tensor the group ultimately produces.
+  int OutputTensor(const graph::Graph& g) const {
+    return fused_ops.empty() ? g.op(anchor_op).output : g.op(fused_ops.back()).output;
+  }
+};
+
+// Splits the graph into fused groups in topological execution order. Fusion
+// requires: element-wise consumer, sole consumer of its input, same canonical
+// shape, and same assigned physical layout (the fusion-conflict rule).
+std::vector<FusedGroup> PartitionGraph(const graph::Graph& graph,
+                                       const graph::LayoutAssignment& assignment,
+                                       bool enable_fusion = true);
+
+// The extents a LoopSchedule for this group must tile: the physical output
+// dims (spatial) and the anchor's reduction extents.
+struct LoopNestSignature {
+  std::vector<int64_t> spatial_extents;
+  std::vector<int64_t> reduction_extents;
+};
+
+StatusOr<LoopNestSignature> GroupSignature(const graph::Graph& graph,
+                                           const graph::LayoutAssignment& assignment,
+                                           const FusedGroup& group);
+
+// Lowers one group under a schedule. The schedule's axis counts must match
+// the group's signature.
+StatusOr<ir::Program> LowerGroup(const graph::Graph& graph,
+                                 const graph::LayoutAssignment& assignment,
+                                 const FusedGroup& group, const LoopSchedule& schedule);
+
+// Convenience: lower with a naive (untiled) schedule.
+StatusOr<ir::Program> LowerGroupNaive(const graph::Graph& graph,
+                                      const graph::LayoutAssignment& assignment,
+                                      const FusedGroup& group);
+
+// A whole network lowered group-by-group, in execution order.
+struct LoweredNetwork {
+  std::vector<FusedGroup> groups;
+  std::vector<ir::Program> programs;
+};
+
+StatusOr<LoweredNetwork> LowerNetworkNaive(const graph::Graph& graph,
+                                           const graph::LayoutAssignment& assignment,
+                                           bool enable_fusion = true);
+
+}  // namespace alt::loop
+
+#endif  // ALT_LOOP_LOWERING_H_

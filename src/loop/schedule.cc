@@ -1,0 +1,46 @@
+#include "src/loop/schedule.h"
+
+#include <sstream>
+
+namespace alt::loop {
+
+LoopSchedule LoopSchedule::Naive(const std::vector<int64_t>& spatial_extents,
+                                 const std::vector<int64_t>& reduction_extents) {
+  LoopSchedule s;
+  for (int64_t e : spatial_extents) {
+    SpatialAxisSchedule axis;
+    axis.outer = e;
+    s.spatial.push_back(axis);
+  }
+  for (int64_t e : reduction_extents) {
+    ReductionAxisSchedule axis;
+    axis.outer = e;
+    s.reduction.push_back(axis);
+  }
+  s.parallel_axes = spatial_extents.empty() ? 0 : 1;
+  return s;
+}
+
+std::string LoopSchedule::ToString() const {
+  std::ostringstream oss;
+  oss << "spatial[";
+  for (size_t i = 0; i < spatial.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << spatial[i].outer << "/" << spatial[i].mid << "/" << spatial[i].inner << "/"
+        << spatial[i].vec;
+  }
+  oss << "] reduction[";
+  for (size_t i = 0; i < reduction.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << reduction[i].outer << "/" << reduction[i].inner;
+  }
+  oss << "] par=" << parallel_axes << " rot=" << inner_order_rotation
+      << (unroll_inner_reduction ? " unroll" : "");
+  return oss.str();
+}
+
+}  // namespace alt::loop

@@ -1,0 +1,55 @@
+// Loop schedules (paper §4.3).
+//
+// A LoopSchedule is a structured multi-level tiling template equivalent to a
+// sequence of TVM-style loop primitives (split / reorder / fuse / vectorize /
+// unroll / parallel / compute_at): every spatial axis of the output's
+// PHYSICAL layout is split three ways (outer / mid / inner, optionally with a
+// vector tail on one axis), reduction axes are split two ways, outer spatial
+// tiles run in parallel, fused element-wise consumers are computed at the
+// tile level (Fig. 7). The loop tuning space of §5.1 enumerates these knobs.
+
+#ifndef ALT_LOOP_SCHEDULE_H_
+#define ALT_LOOP_SCHEDULE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alt::loop {
+
+struct SpatialAxisSchedule {
+  // outer * mid * inner * vec == extent of the physical axis.
+  int64_t outer = 1;
+  int64_t mid = 1;
+  int64_t inner = 1;
+  int64_t vec = 1;  // > 1 on at most one axis (the vectorized lanes)
+};
+
+struct ReductionAxisSchedule {
+  int64_t outer = 1;
+  int64_t inner = 1;  // outer * inner == reduction extent
+};
+
+struct LoopSchedule {
+  std::vector<SpatialAxisSchedule> spatial;
+  std::vector<ReductionAxisSchedule> reduction;
+  // Number of leading spatial axes whose outer-tile loops are parallel.
+  int parallel_axes = 1;
+  // Rotation applied to the order of the inner spatial loops (a cheap stand-in
+  // for full reorder freedom; 0 = physical order).
+  int inner_order_rotation = 0;
+  // Unroll annotation on the innermost reduction loop.
+  bool unroll_inner_reduction = false;
+
+  // A trivial schedule: single-level loops in physical order, no
+  // vectorization (extents supplied by the caller).
+  static LoopSchedule Naive(const std::vector<int64_t>& spatial_extents,
+                            const std::vector<int64_t>& reduction_extents);
+
+  std::string ToString() const;
+};
+
+}  // namespace alt::loop
+
+#endif  // ALT_LOOP_SCHEDULE_H_

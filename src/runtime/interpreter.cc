@@ -1,0 +1,237 @@
+#include "src/runtime/interpreter.h"
+
+#include <cmath>
+#include <memory>
+
+#include "src/ir/eval.h"
+
+namespace alt::runtime {
+
+namespace {
+
+using ir::CompiledExpr;
+using ir::VarSlotMap;
+
+// A value expression compiled against buffer pointers and var slots.
+struct CompiledVal {
+  ir::ValKind kind;
+  double imm = 0.0;
+  const std::vector<float>* buffer = nullptr;  // kLoad
+  CompiledExpr offset;                         // kLoad: linearized element offset
+  int64_t buffer_size = 0;
+  std::unique_ptr<CompiledVal> a;
+  std::unique_ptr<CompiledVal> b;
+  struct Cond {
+    CompiledExpr expr;
+    int64_t lo, hi, modulus, rem;
+  };
+  std::vector<Cond> conds;
+};
+
+struct CompiledStore {
+  std::vector<float>* buffer = nullptr;
+  int64_t buffer_size = 0;
+  CompiledExpr offset;
+  CompiledVal value;
+  ir::StoreMode mode;
+};
+
+// Execution plan node mirroring the statement tree.
+struct PlanNode {
+  ir::StmtKind kind;
+  // For
+  int slot = -1;
+  int64_t extent = 0;
+  std::vector<PlanNode> children;  // For: 1 child; Block: n children
+  // Store
+  CompiledStore store;
+};
+
+struct Compiler {
+  VarSlotMap slots;
+  BufferStore* store;
+  const ir::Program* program;
+  Status status = Status::Ok();
+
+  CompiledExpr LinearOffset(int tensor_id, const std::vector<ir::Expr>& indices,
+                            int64_t* size_out) {
+    const ir::BufferDecl* decl = program->FindBuffer(tensor_id);
+    ALT_CHECK_MSG(decl != nullptr, "no buffer decl for tensor " << tensor_id);
+    auto strides = ir::RowMajorStrides(decl->tensor.shape);
+    ALT_CHECK_MSG(indices.size() == strides.size(),
+                  "index rank mismatch on tensor " << tensor_id << ": " << indices.size()
+                                                   << " vs " << strides.size());
+    ir::Expr linear = ir::Const(0);
+    for (size_t d = 0; d < indices.size(); ++d) {
+      linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
+    }
+    *size_out = decl->tensor.NumElements();
+    return CompiledExpr::Compile(linear, slots);
+  }
+
+  CompiledVal CompileVal(const ir::Val& v) {
+    CompiledVal out;
+    out.kind = v->kind;
+    out.imm = v->imm;
+    if (v->kind == ir::ValKind::kLoad) {
+      out.buffer = &store->Get(v->tensor_id);
+      out.offset = LinearOffset(v->tensor_id, v->indices, &out.buffer_size);
+      return out;
+    }
+    for (const auto& c : v->conds) {
+      out.conds.push_back(
+          {CompiledExpr::Compile(c.expr, slots), c.lo, c.hi, c.modulus, c.rem});
+    }
+    if (v->a) {
+      out.a = std::make_unique<CompiledVal>(CompileVal(v->a));
+    }
+    if (v->b) {
+      out.b = std::make_unique<CompiledVal>(CompileVal(v->b));
+    }
+    return out;
+  }
+
+  PlanNode CompileStmt(const ir::Stmt& stmt) {
+    PlanNode node;
+    node.kind = stmt->kind;
+    switch (stmt->kind) {
+      case ir::StmtKind::kFor: {
+        node.slot = slots.AddVar(stmt->loop_var->var_id);
+        node.extent = stmt->extent;
+        node.children.push_back(CompileStmt(stmt->body));
+        break;
+      }
+      case ir::StmtKind::kBlock: {
+        for (const auto& s : stmt->stmts) {
+          node.children.push_back(CompileStmt(s));
+        }
+        break;
+      }
+      case ir::StmtKind::kStore: {
+        auto& st = node.store;
+        st.buffer = &store->Get(stmt->tensor_id);
+        st.offset = LinearOffset(stmt->tensor_id, stmt->indices, &st.buffer_size);
+        st.value = CompileVal(stmt->value);
+        st.mode = stmt->mode;
+        break;
+      }
+    }
+    return node;
+  }
+};
+
+double EvalVal(const CompiledVal& v, const int64_t* env) {
+  switch (v.kind) {
+    case ir::ValKind::kImm:
+      return v.imm;
+    case ir::ValKind::kLoad: {
+      int64_t off = v.offset.Eval(env);
+      ALT_CHECK_MSG(off >= 0 && off < v.buffer_size,
+                    "load out of bounds: " << off << " size " << v.buffer_size);
+      return (*v.buffer)[off];
+    }
+    case ir::ValKind::kAdd:
+      return EvalVal(*v.a, env) + EvalVal(*v.b, env);
+    case ir::ValKind::kSub:
+      return EvalVal(*v.a, env) - EvalVal(*v.b, env);
+    case ir::ValKind::kMul:
+      return EvalVal(*v.a, env) * EvalVal(*v.b, env);
+    case ir::ValKind::kDiv:
+      return EvalVal(*v.a, env) / EvalVal(*v.b, env);
+    case ir::ValKind::kMax:
+      return std::max(EvalVal(*v.a, env), EvalVal(*v.b, env));
+    case ir::ValKind::kMin:
+      return std::min(EvalVal(*v.a, env), EvalVal(*v.b, env));
+    case ir::ValKind::kExp:
+      return std::exp(EvalVal(*v.a, env));
+    case ir::ValKind::kTanh:
+      return std::tanh(EvalVal(*v.a, env));
+    case ir::ValKind::kSqrt:
+      return std::sqrt(EvalVal(*v.a, env));
+    case ir::ValKind::kSelect: {
+      for (const auto& c : v.conds) {
+        int64_t e = c.expr.Eval(env);
+        if (e < c.lo || e >= c.hi) {
+          return EvalVal(*v.b, env);
+        }
+        if (c.modulus > 1) {
+          int64_t m = e % c.modulus;
+          if (m < 0) {
+            m += c.modulus;
+          }
+          if (m != c.rem) {
+            return EvalVal(*v.b, env);
+          }
+        }
+      }
+      return EvalVal(*v.a, env);
+    }
+  }
+  return 0.0;
+}
+
+void ExecNode(const PlanNode& node, int64_t* env) {
+  switch (node.kind) {
+    case ir::StmtKind::kFor: {
+      for (int64_t i = 0; i < node.extent; ++i) {
+        env[node.slot] = i;
+        ExecNode(node.children[0], env);
+      }
+      break;
+    }
+    case ir::StmtKind::kBlock: {
+      for (const auto& child : node.children) {
+        ExecNode(child, env);
+      }
+      break;
+    }
+    case ir::StmtKind::kStore: {
+      const auto& st = node.store;
+      int64_t off = st.offset.Eval(env);
+      ALT_CHECK_MSG(off >= 0 && off < st.buffer_size,
+                    "store out of bounds: " << off << " size " << st.buffer_size);
+      double v = EvalVal(st.value, env);
+      if (st.mode == ir::StoreMode::kAssign) {
+        (*st.buffer)[off] = static_cast<float>(v);
+      } else {
+        (*st.buffer)[off] += static_cast<float>(v);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Status Execute(const ir::Program& program, BufferStore& store) {
+  // Allocate / validate buffers.
+  for (const auto& decl : program.buffers) {
+    int64_t n = decl.tensor.NumElements();
+    auto& buf = store.Get(decl.tensor.id);
+    switch (decl.role) {
+      case ir::BufferRole::kInput:
+      case ir::BufferRole::kConstant:
+        if (static_cast<int64_t>(buf.size()) != n) {
+          return Status::FailedPrecondition("input buffer " + decl.tensor.name +
+                                            " missing or mis-sized");
+        }
+        break;
+      case ir::BufferRole::kOutput:
+      case ir::BufferRole::kIntermediate:
+        buf.assign(n, 0.0f);
+        break;
+    }
+  }
+  if (!program.root) {
+    return Status::Ok();
+  }
+  Compiler compiler;
+  compiler.store = &store;
+  compiler.program = &program;
+  PlanNode plan = compiler.CompileStmt(program.root);
+  std::vector<int64_t> env(compiler.slots.size(), 0);
+  ExecNode(plan, env.data());
+  return Status::Ok();
+}
+
+}  // namespace alt::runtime

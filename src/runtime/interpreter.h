@@ -1,0 +1,41 @@
+// Program interpreter: executes lowered programs on real float buffers.
+//
+// This is the ground truth that keeps the layout machinery honest — every
+// transformed program must produce the same numbers as the canonical
+// reference implementation (reference.h), whatever primitive sequences and
+// schedules were applied.
+
+#ifndef ALT_RUNTIME_INTERPRETER_H_
+#define ALT_RUNTIME_INTERPRETER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/stmt.h"
+#include "src/support/status.h"
+
+namespace alt::runtime {
+
+// Storage keyed by tensor id. Buffers persist across program executions so a
+// lowered network can run group by group.
+class BufferStore {
+ public:
+  std::vector<float>& Get(int tensor_id) { return buffers_[tensor_id]; }
+  const std::vector<float>* Find(int tensor_id) const {
+    auto it = buffers_.find(tensor_id);
+    return it == buffers_.end() ? nullptr : &it->second;
+  }
+  bool Has(int tensor_id) const { return buffers_.count(tensor_id) > 0; }
+
+ private:
+  std::unordered_map<int, std::vector<float>> buffers_;
+};
+
+// Executes `program` against `store`. Buffers for inputs/constants must be
+// present and correctly sized; outputs and intermediates are allocated (and
+// zero-initialized) on demand.
+Status Execute(const ir::Program& program, BufferStore& store);
+
+}  // namespace alt::runtime
+
+#endif  // ALT_RUNTIME_INTERPRETER_H_

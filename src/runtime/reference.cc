@@ -1,0 +1,473 @@
+#include "src/runtime/reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/graph/layout_assignment.h"
+#include "src/ir/eval.h"
+
+namespace alt::runtime {
+
+using graph::Graph;
+using graph::Op;
+using graph::OpKind;
+
+namespace {
+
+struct View {
+  const std::vector<float>* data;
+  std::vector<int64_t> shape;
+  std::vector<int64_t> strides;
+
+  explicit View(const std::vector<float>& d, std::vector<int64_t> s)
+      : data(&d), shape(std::move(s)), strides(ir::RowMajorStrides(shape)) {}
+
+  float at(std::initializer_list<int64_t> idx) const {
+    int64_t off = 0;
+    size_t d = 0;
+    for (int64_t i : idx) {
+      off += i * strides[d++];
+    }
+    return (*data)[off];
+  }
+};
+
+void RefConv(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& attrs = op.conv;
+  int sd = attrs.spatial_dims;
+  bool transposed =
+      (op.kind == OpKind::kTransposedConv2d || op.kind == OpKind::kTransposedConv3d);
+  const auto& in_shape = g.tensor(op.inputs[0]).shape;
+  const auto& w_shape = g.tensor(op.inputs[1]).shape;
+  const auto& out_shape = g.tensor(op.output).shape;
+  const auto& in = data[op.inputs[0]];
+  const auto& w = data[op.inputs[1]];
+  auto& out = data[op.output];
+  out.assign(g.tensor(op.output).NumElements(), 0.0f);
+
+  auto in_strides = ir::RowMajorStrides(in_shape);
+  auto w_strides = ir::RowMajorStrides(w_shape);
+  auto out_strides = ir::RowMajorStrides(out_shape);
+
+  int64_t groups = attrs.groups;
+  int64_t opg = out_shape[1] / groups;
+  int64_t red_channels = transposed ? in_shape[1] / groups : w_shape[1];
+
+  // Iterate the full output domain plus the reduction domain generically.
+  std::vector<int64_t> sp(out_shape.size(), 0);
+  for (;;) {
+    double acc = 0.0;
+    int64_t n = sp[0];
+    int64_t o = sp[1];
+    int64_t grp = o / opg;
+    std::vector<int64_t> red(1 + sd, 0);
+    std::vector<int64_t> red_ext{red_channels};
+    for (int d = 0; d < sd; ++d) {
+      red_ext.push_back(w_shape[2 + d]);
+    }
+    for (;;) {
+      int64_t ri = red[0];
+      bool valid = true;
+      int64_t in_off = n * in_strides[0] + (grp * red_channels + ri) * in_strides[1];
+      int64_t w_off = 0;
+      if (!transposed) {
+        w_off = o * w_strides[0] + ri * w_strides[1];
+        for (int d = 0; d < sd && valid; ++d) {
+          int64_t pos = sp[2 + d] * attrs.stride[d] + red[1 + d] * attrs.dilation[d];
+          in_off += pos * in_strides[2 + d];
+          w_off += red[1 + d] * w_strides[2 + d];
+        }
+      } else {
+        w_off = (grp * red_channels + ri) * w_strides[0] + (o % opg) * w_strides[1];
+        for (int d = 0; d < sd && valid; ++d) {
+          int64_t e = sp[2 + d] + attrs.pad[d] - red[1 + d];
+          if (e < 0 || e % attrs.stride[d] != 0 || e / attrs.stride[d] >= in_shape[2 + d]) {
+            valid = false;
+            break;
+          }
+          in_off += (e / attrs.stride[d]) * in_strides[2 + d];
+          w_off += red[1 + d] * w_strides[2 + d];
+        }
+      }
+      if (valid) {
+        acc += static_cast<double>(in[in_off]) * static_cast<double>(w[w_off]);
+      }
+      int d = static_cast<int>(red.size()) - 1;
+      while (d >= 0 && ++red[d] == red_ext[d]) {
+        red[d--] = 0;
+      }
+      if (d < 0) {
+        break;
+      }
+    }
+    int64_t out_off = 0;
+    for (size_t d = 0; d < sp.size(); ++d) {
+      out_off += sp[d] * out_strides[d];
+    }
+    out[out_off] = static_cast<float>(acc);
+    int d = static_cast<int>(sp.size()) - 1;
+    while (d >= 0 && ++sp[d] == out_shape[d]) {
+      sp[d--] = 0;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+}
+
+void RefMatmul(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& sa = g.tensor(op.inputs[0]).shape;
+  const auto& sb = g.tensor(op.inputs[1]).shape;
+  const auto& a = data[op.inputs[0]];
+  const auto& b = data[op.inputs[1]];
+  auto& out = data[op.output];
+  int64_t m = sa[0], k = sa[1], n = sb[1];
+  out.assign(m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double av = a[i * k + kk];
+      for (int64_t j = 0; j < n; ++j) {
+        out[i * n + j] += static_cast<float>(av * b[kk * n + j]);
+      }
+    }
+  }
+}
+
+void RefPool(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& attrs = op.pool;
+  const auto& in_shape = g.tensor(op.inputs[0]).shape;
+  const auto& out_shape = g.tensor(op.output).shape;
+  const auto& in = data[op.inputs[0]];
+  auto& out = data[op.output];
+  out.assign(g.tensor(op.output).NumElements(), 0.0f);
+  int64_t wh = attrs.global ? in_shape[2] : attrs.window[0];
+  int64_t ww = attrs.global ? in_shape[3] : attrs.window[1];
+  int64_t sh = attrs.global ? 1 : attrs.stride[0];
+  int64_t sw = attrs.global ? 1 : attrs.stride[1];
+  bool is_max = op.kind == OpKind::kMaxPool2d;
+  auto is4 = ir::RowMajorStrides(in_shape);
+  auto os4 = ir::RowMajorStrides(out_shape);
+  for (int64_t n = 0; n < out_shape[0]; ++n) {
+    for (int64_t c = 0; c < out_shape[1]; ++c) {
+      for (int64_t oh = 0; oh < out_shape[2]; ++oh) {
+        for (int64_t ow = 0; ow < out_shape[3]; ++ow) {
+          double acc = is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+          for (int64_t rh = 0; rh < wh; ++rh) {
+            for (int64_t rw = 0; rw < ww; ++rw) {
+              float v = in[n * is4[0] + c * is4[1] + (oh * sh + rh) * is4[2] +
+                           (ow * sw + rw) * is4[3]];
+              acc = is_max ? std::max(acc, static_cast<double>(v)) : acc + v;
+            }
+          }
+          if (!is_max) {
+            acc /= static_cast<double>(wh * ww);
+          }
+          out[n * os4[0] + c * os4[1] + oh * os4[2] + ow * os4[3]] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+}
+
+void RefElementwiseLike(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& out_shape = g.tensor(op.output).shape;
+  int64_t n = g.tensor(op.output).NumElements();
+  const auto& in = data[op.inputs[0]];
+  auto& out = data[op.output];
+  out.assign(n, 0.0f);
+  switch (op.kind) {
+    case OpKind::kRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = std::max(in[i], 0.0f);
+      }
+      break;
+    case OpKind::kGelu:
+      for (int64_t i = 0; i < n; ++i) {
+        double x = in[i];
+        out[i] = static_cast<float>(
+            0.5 * x * (1.0 + std::tanh(0.7978845608028654 * (x + 0.044715 * x * x * x))));
+      }
+      break;
+    case OpKind::kMulScalar:
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(in[i] * op.scalar);
+      }
+      break;
+    case OpKind::kIdentity:
+    case OpKind::kReshape:
+      out = in;
+      break;
+    case OpKind::kAddTensors: {
+      const auto& other = data[op.inputs[1]];
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = in[i] + other[i];
+      }
+      break;
+    }
+    case OpKind::kBiasAdd: {
+      const auto& bias = data[op.inputs[1]];
+      auto strides = ir::RowMajorStrides(out_shape);
+      int64_t axis_stride = strides[op.bias_axis];
+      int64_t axis_extent = out_shape[op.bias_axis];
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t c = (i / axis_stride) % axis_extent;
+        out[i] = in[i] + bias[c];
+      }
+      break;
+    }
+    default:
+      ALT_CHECK_MSG(false, "unsupported elementwise op");
+  }
+}
+
+void RefPad(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& in_shape = g.tensor(op.inputs[0]).shape;
+  const auto& out_shape = g.tensor(op.output).shape;
+  const auto& in = data[op.inputs[0]];
+  auto& out = data[op.output];
+  out.assign(g.tensor(op.output).NumElements(), 0.0f);
+  auto in_strides = ir::RowMajorStrides(in_shape);
+  auto out_strides = ir::RowMajorStrides(out_shape);
+  std::vector<int64_t> idx(in_shape.size(), 0);
+  for (;;) {
+    int64_t in_off = 0, out_off = 0;
+    for (size_t d = 0; d < idx.size(); ++d) {
+      in_off += idx[d] * in_strides[d];
+      out_off += (idx[d] + op.pad.before[d]) * out_strides[d];
+    }
+    out[out_off] = in[in_off];
+    int d = static_cast<int>(idx.size()) - 1;
+    while (d >= 0 && ++idx[d] == in_shape[d]) {
+      idx[d--] = 0;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+}
+
+void RefRowOp(const Graph& g, const Op& op, TensorDataMap& data) {
+  const auto& shape = g.tensor(op.output).shape;
+  int64_t cols = shape.back();
+  int64_t rows = g.tensor(op.output).NumElements() / cols;
+  const auto& in = data[op.inputs[0]];
+  auto& out = data[op.output];
+  out.assign(rows * cols, 0.0f);
+  for (int64_t m = 0; m < rows; ++m) {
+    const float* x = &in[m * cols];
+    float* y = &out[m * cols];
+    if (op.kind == OpKind::kSoftmax) {
+      double mx = -1e30;
+      for (int64_t c = 0; c < cols; ++c) {
+        mx = std::max(mx, static_cast<double>(x[c]));
+      }
+      double sum = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        y[c] = static_cast<float>(std::exp(x[c] - mx));
+        sum += y[c];
+      }
+      for (int64_t c = 0; c < cols; ++c) {
+        y[c] = static_cast<float>(y[c] / sum);
+      }
+    } else {  // LayerNorm
+      double mean = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        mean += x[c];
+      }
+      mean /= cols;
+      double var = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        var += (x[c] - mean) * (x[c] - mean);
+      }
+      var /= cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        y[c] = static_cast<float>((x[c] - mean) / std::sqrt(var + 1e-5));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FillGraphInputs(const Graph& graph, Rng& rng, TensorDataMap& data) {
+  for (const auto& t : graph.tensors()) {
+    if (graph.IsGraphInput(t.id) || graph.IsConstant(t.id)) {
+      auto& buf = data[t.id];
+      buf.resize(t.NumElements());
+      for (auto& v : buf) {
+        v = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+      }
+    }
+  }
+}
+
+Status ExecuteReference(const Graph& graph, TensorDataMap& data) {
+  for (int op_id : graph::TopoOrder(graph)) {
+    const Op& op = graph.op(op_id);
+    switch (op.kind) {
+      case OpKind::kConv1d:
+      case OpKind::kConv2d:
+      case OpKind::kConv3d:
+      case OpKind::kTransposedConv2d:
+      case OpKind::kTransposedConv3d:
+        RefConv(graph, op, data);
+        break;
+      case OpKind::kMatmul:
+        RefMatmul(graph, op, data);
+        break;
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d:
+        RefPool(graph, op, data);
+        break;
+      case OpKind::kPad:
+        RefPad(graph, op, data);
+        break;
+      case OpKind::kSoftmax:
+      case OpKind::kLayerNorm:
+        RefRowOp(graph, op, data);
+        break;
+      case OpKind::kLayoutConvert:
+        data[op.output] = data[op.inputs[0]];  // pure layout change: same values
+        break;
+      case OpKind::kInput:
+        break;
+      default:
+        RefElementwiseLike(graph, op, data);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
+                                         const std::vector<int64_t>& canonical_shape,
+                                         const layout::LayoutSeq& seq) {
+  if (seq.empty()) {
+    return canonical;
+  }
+  std::vector<int64_t> phys_shape = canonical_shape;
+  ALT_RETURN_IF_ERROR(seq.ApplyToShape(phys_shape));
+
+  // Fresh vars over physical dims; inverse gives canonical index exprs.
+  std::vector<ir::Expr> vars;
+  ir::VarSlotMap slots;
+  for (size_t d = 0; d < phys_shape.size(); ++d) {
+    vars.push_back(ir::MakeVar("p" + std::to_string(d)));
+    slots.AddVar(vars.back()->var_id);
+  }
+  auto inv = seq.MapInverse(canonical_shape, vars);
+  if (!inv.ok()) {
+    return inv.status();
+  }
+  std::vector<ir::CompiledExpr> compiled;
+  for (const auto& e : *inv) {
+    compiled.push_back(ir::CompiledExpr::Compile(e, slots));
+  }
+
+  auto canon_strides = ir::RowMajorStrides(canonical_shape);
+  int64_t total = 1;
+  for (int64_t d : phys_shape) {
+    total *= d;
+  }
+  std::vector<float> phys(total, 0.0f);
+  std::vector<int64_t> idx(phys_shape.size(), 0);
+  std::vector<int64_t> env(slots.size(), 0);
+  int64_t off = 0;
+  for (;;) {
+    for (size_t d = 0; d < idx.size(); ++d) {
+      env[slots.SlotOf(vars[d]->var_id)] = idx[d];
+    }
+    bool in_range = true;
+    int64_t coff = 0;
+    for (size_t d = 0; d < canonical_shape.size(); ++d) {
+      int64_t c = compiled[d].Eval(env.data());
+      if (c < 0 || c >= canonical_shape[d]) {
+        in_range = false;
+        break;
+      }
+      coff += c * canon_strides[d];
+    }
+    phys[off] = in_range ? canonical[coff] : 0.0f;
+    ++off;
+    int d = static_cast<int>(idx.size()) - 1;
+    while (d >= 0 && ++idx[d] == phys_shape[d]) {
+      idx[d--] = 0;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+  return phys;
+}
+
+StatusOr<std::vector<float>> Canonicalize(const std::vector<float>& physical,
+                                          const std::vector<int64_t>& canonical_shape,
+                                          const layout::LayoutSeq& seq) {
+  if (seq.empty()) {
+    return physical;
+  }
+  std::vector<int64_t> phys_shape = canonical_shape;
+  ALT_RETURN_IF_ERROR(seq.ApplyToShape(phys_shape));
+
+  std::vector<ir::Expr> vars;
+  ir::VarSlotMap slots;
+  for (size_t d = 0; d < phys_shape.size(); ++d) {
+    vars.push_back(ir::MakeVar("p" + std::to_string(d)));
+    slots.AddVar(vars.back()->var_id);
+  }
+  auto inv = seq.MapInverse(canonical_shape, vars);
+  if (!inv.ok()) {
+    return inv.status();
+  }
+  std::vector<ir::CompiledExpr> compiled;
+  for (const auto& e : *inv) {
+    compiled.push_back(ir::CompiledExpr::Compile(e, slots));
+  }
+
+  auto canon_strides = ir::RowMajorStrides(canonical_shape);
+  int64_t canon_total = 1;
+  for (int64_t d : canonical_shape) {
+    canon_total *= d;
+  }
+  std::vector<float> canonical(canon_total, 0.0f);
+  std::vector<int64_t> idx(phys_shape.size(), 0);
+  std::vector<int64_t> env(slots.size(), 0);
+  int64_t off = 0;
+  for (;;) {
+    for (size_t d = 0; d < idx.size(); ++d) {
+      env[slots.SlotOf(vars[d]->var_id)] = idx[d];
+    }
+    bool in_range = true;
+    int64_t coff = 0;
+    for (size_t d = 0; d < canonical_shape.size(); ++d) {
+      int64_t c = compiled[d].Eval(env.data());
+      if (c < 0 || c >= canonical_shape[d]) {
+        in_range = false;
+        break;
+      }
+      coff += c * canon_strides[d];
+    }
+    if (in_range) {
+      canonical[coff] = physical[off];
+    }
+    ++off;
+    int d = static_cast<int>(idx.size()) - 1;
+    while (d >= 0 && ++idx[d] == phys_shape[d]) {
+      idx[d--] = 0;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+  return canonical;
+}
+
+double MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  ALT_CHECK(a.size() == b.size());
+  double mx = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return mx;
+}
+
+}  // namespace alt::runtime

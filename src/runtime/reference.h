@@ -1,0 +1,48 @@
+// Canonical reference execution of computational graphs.
+//
+// Every operator is implemented directly with plain nested loops over
+// canonical layouts, completely independent of the IR / lowering / layout
+// machinery, so that lowered-and-transformed programs can be validated
+// end-to-end against straightforward ground truth.
+
+#ifndef ALT_RUNTIME_REFERENCE_H_
+#define ALT_RUNTIME_REFERENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/layout/primitive.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace alt::runtime {
+
+using TensorDataMap = std::unordered_map<int, std::vector<float>>;
+
+// Fills canonical buffers for all graph inputs and constants with
+// deterministic pseudo-random values in [-1, 1].
+void FillGraphInputs(const graph::Graph& graph, Rng& rng, TensorDataMap& data);
+
+// Runs every op in topological order on canonical-layout buffers.
+Status ExecuteReference(const graph::Graph& graph, TensorDataMap& data);
+
+// Converts a canonical buffer into its physical layout (applying a primitive
+// sequence): iterates the physical domain, maps back through MapInverse, and
+// copies (duplicating under unfold, zero-filling padding/overhang).
+StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
+                                         const std::vector<int64_t>& canonical_shape,
+                                         const layout::LayoutSeq& seq);
+
+// Recovers the canonical buffer from a physical one (inverse of Physicalize;
+// duplicated elements are written repeatedly with identical values).
+StatusOr<std::vector<float>> Canonicalize(const std::vector<float>& physical,
+                                          const std::vector<int64_t>& canonical_shape,
+                                          const layout::LayoutSeq& seq);
+
+// Max |a-b| over two equal-sized buffers.
+double MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace alt::runtime
+
+#endif  // ALT_RUNTIME_REFERENCE_H_

@@ -1,0 +1,99 @@
+#include "src/runtime/session.h"
+
+#include "src/support/logging.h"
+
+namespace alt::runtime {
+
+StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
+                                               const graph::LayoutAssignment& assignment,
+                                               const loop::LoweredNetwork& net,
+                                               const TensorDataMap& canonical_data) {
+  BufferStore store;
+  // Physicalize graph inputs and constants.
+  for (const auto& t : graph.tensors()) {
+    if (!graph.IsGraphInput(t.id) && !graph.IsConstant(t.id)) {
+      continue;
+    }
+    auto it = canonical_data.find(t.id);
+    if (it == canonical_data.end()) {
+      return Status::FailedPrecondition("missing canonical data for tensor " + t.name);
+    }
+    auto phys = Physicalize(it->second, t.shape, assignment.Get(t.id));
+    if (!phys.ok()) {
+      return phys.status();
+    }
+    store.Get(t.id) = std::move(*phys);
+  }
+  // Materialize store_at slices: a host tensor whose sequence is exactly
+  // [store_at(src, k)] carries the source's values in its appended slice
+  // (paper §4.1.2: e.g. a bias vector attached to a weight matrix).
+  for (const auto& t : graph.tensors()) {
+    const layout::LayoutSeq& seq = assignment.Get(t.id);
+    if (seq.size() != 1 || seq.primitives()[0].kind != layout::PrimitiveKind::kStoreAt) {
+      continue;
+    }
+    int src_id = seq.primitives()[0].store_src_tensor;
+    int dim = seq.primitives()[0].dim;
+    auto src_it = canonical_data.find(src_id);
+    if (src_it == canonical_data.end()) {
+      return Status::FailedPrecondition("store_at source data missing");
+    }
+    auto& host = store.Get(t.id);
+    std::vector<int64_t> phys_shape = t.shape;
+    phys_shape[dim] += 1;
+    auto strides = ir::RowMajorStrides(phys_shape);
+    // Iterate the source domain (host canonical shape minus `dim`).
+    std::vector<int64_t> src_shape = t.shape;
+    src_shape.erase(src_shape.begin() + dim);
+    std::vector<int64_t> idx(src_shape.size(), 0);
+    int64_t off = 0;
+    for (;;) {
+      int64_t host_off = t.shape[dim] * strides[dim];
+      int sd = 0;
+      for (size_t d = 0; d < phys_shape.size(); ++d) {
+        if (static_cast<int>(d) == dim) {
+          continue;
+        }
+        host_off += idx[sd++] * strides[d];
+      }
+      host[host_off] = src_it->second[off++];
+      int d = static_cast<int>(idx.size()) - 1;
+      while (d >= 0 && ++idx[d] == src_shape[d]) {
+        idx[d--] = 0;
+      }
+      if (d < 0) {
+        break;
+      }
+    }
+  }
+  for (const auto& program : net.programs) {
+    ALT_RETURN_IF_ERROR(Execute(program, store));
+  }
+  if (net.groups.empty()) {
+    return Status::InvalidArgument("empty network");
+  }
+  int out_id = net.groups.back().OutputTensor(graph);
+  const auto& t = graph.tensor(out_id);
+  return Canonicalize(store.Get(out_id), t.shape, assignment.Get(out_id));
+}
+
+StatusOr<double> ValidateAgainstReference(const graph::Graph& graph,
+                                          const graph::LayoutAssignment& assignment,
+                                          uint64_t seed, bool enable_fusion) {
+  auto net = loop::LowerNetworkNaive(graph, assignment, enable_fusion);
+  if (!net.ok()) {
+    return net.status();
+  }
+  Rng rng(seed);
+  TensorDataMap data;
+  FillGraphInputs(graph, rng, data);
+  auto lowered_out = RunLoweredNetwork(graph, assignment, *net, data);
+  if (!lowered_out.ok()) {
+    return lowered_out.status();
+  }
+  ALT_RETURN_IF_ERROR(ExecuteReference(graph, data));
+  int out_id = net->groups.back().OutputTensor(graph);
+  return MaxAbsDiff(*lowered_out, data[out_id]);
+}
+
+}  // namespace alt::runtime

@@ -1,0 +1,32 @@
+// End-to-end execution of a lowered network against canonical inputs, and
+// numeric validation against the reference executor. This is the harness the
+// integration tests and examples use to prove that layout + loop transforms
+// preserve semantics.
+
+#ifndef ALT_RUNTIME_SESSION_H_
+#define ALT_RUNTIME_SESSION_H_
+
+#include "src/graph/layout_assignment.h"
+#include "src/loop/lowering.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/reference.h"
+
+namespace alt::runtime {
+
+// Runs `net` (lowered from `graph` under `assignment`) on the canonical
+// inputs in `canonical_data` (graph inputs + constants must be present).
+// Returns the final group output in CANONICAL layout.
+StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
+                                               const graph::LayoutAssignment& assignment,
+                                               const loop::LoweredNetwork& net,
+                                               const TensorDataMap& canonical_data);
+
+// Convenience: lowers naive, runs both the lowered network and the reference,
+// and returns max |diff| on the final output.
+StatusOr<double> ValidateAgainstReference(const graph::Graph& graph,
+                                          const graph::LayoutAssignment& assignment,
+                                          uint64_t seed = 42, bool enable_fusion = true);
+
+}  // namespace alt::runtime
+
+#endif  // ALT_RUNTIME_SESSION_H_

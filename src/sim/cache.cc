@@ -1,0 +1,383 @@
+#include "src/sim/cache.h"
+
+#include <cmath>
+
+#include "src/ir/eval.h"
+#include "src/support/status.h"
+
+namespace alt::sim {
+
+namespace {
+
+int Log2i(int64_t v) {
+  int s = 0;
+  while ((int64_t{1} << s) < v) {
+    ++s;
+  }
+  return s;
+}
+
+}  // namespace
+
+CacheSim::CacheSim(const Machine& machine) : prefetch_lines_(machine.prefetch_lines) {
+  for (const auto& spec : machine.caches) {
+    Level level;
+    level.assoc = spec.associativity;
+    level.line_shift = Log2i(spec.line_bytes);
+    level.sets = spec.size_bytes / spec.line_bytes / spec.associativity;
+    ALT_CHECK(level.sets > 0);
+    level.tags.assign(level.sets * level.assoc, 0);
+    level.lru.assign(level.sets * level.assoc, 0);
+    level.valid.assign(level.sets * level.assoc, false);
+    levels_.push_back(std::move(level));
+  }
+  stats_.resize(levels_.size());
+}
+
+bool CacheSim::AccessLevel(size_t li, uint64_t addr, bool is_prefetch) {
+  Level& level = levels_[li];
+  uint64_t line = addr >> level.line_shift;
+  int64_t set = static_cast<int64_t>(line % static_cast<uint64_t>(level.sets));
+  uint64_t tag = line / static_cast<uint64_t>(level.sets);
+  int base = static_cast<int>(set) * level.assoc;
+
+  if (!is_prefetch) {
+    ++stats_[li].accesses;
+  } else {
+    ++stats_[li].prefetches;
+  }
+  ++tick_;
+
+  for (int w = 0; w < level.assoc; ++w) {
+    if (level.valid[base + w] && level.tags[base + w] == tag) {
+      level.lru[base + w] = tick_;
+      return true;
+    }
+  }
+  if (!is_prefetch) {
+    ++stats_[li].misses;
+  }
+  // Fill from below.
+  if (li + 1 < levels_.size()) {
+    AccessLevel(li + 1, addr, is_prefetch);
+  }
+  // Install with LRU replacement.
+  int victim = 0;
+  uint32_t oldest = level.lru[base];
+  for (int w = 1; w < level.assoc; ++w) {
+    if (!level.valid[base + w]) {
+      victim = w;
+      break;
+    }
+    if (level.lru[base + w] < oldest) {
+      oldest = level.lru[base + w];
+      victim = w;
+    }
+  }
+  level.tags[base + victim] = tag;
+  level.valid[base + victim] = true;
+  level.lru[base + victim] = tick_;
+  return false;
+}
+
+void CacheSim::Access(uint64_t addr, bool is_store) {
+  if (is_store) {
+    ++stores_;
+  } else {
+    ++loads_;
+  }
+  if (levels_.empty()) {
+    return;
+  }
+  // Stream detection: a small table of concurrent sequential streams (real
+  // prefetchers track several). A stream is confirmed once it advances to
+  // the next line; only confirmed streams trigger the next-N-line prefetch.
+  // This is what separates layout tiling (one long stream) from loop tiling
+  // (a fresh, never-confirmed stream per short row) in the paper's Table 2.
+  uint64_t line = addr >> levels_[0].line_shift;
+  bool stream_confirmed = false;
+  int match = -1;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (!streams_[i].valid) {
+      continue;
+    }
+    if (streams_[i].last_line == line) {
+      match = static_cast<int>(i);
+      stream_confirmed = streams_[i].confirmed;
+      break;
+    }
+    if (streams_[i].last_line + 1 == line) {
+      match = static_cast<int>(i);
+      streams_[i].confirmed = true;
+      streams_[i].last_line = line;
+      stream_confirmed = true;
+      break;
+    }
+  }
+  if (match < 0) {
+    // Allocate the least-recently-used stream slot.
+    size_t victim = 0;
+    for (size_t i = 1; i < streams_.size(); ++i) {
+      if (streams_[i].last_touch < streams_[victim].last_touch) {
+        victim = i;
+      }
+    }
+    streams_[victim] = {line, true, false, tick_};
+    match = static_cast<int>(victim);
+  }
+  streams_[match].last_touch = tick_;
+
+  bool hit = AccessLevel(0, addr, /*is_prefetch=*/false);
+  if (!hit && prefetch_lines_ > 1 && stream_confirmed) {
+    uint64_t line_bytes = uint64_t{1} << levels_[0].line_shift;
+    for (int i = 1; i < prefetch_lines_; ++i) {
+      AccessLevel(0, addr + static_cast<uint64_t>(i) * line_bytes, /*is_prefetch=*/true);
+    }
+  }
+}
+
+namespace {
+
+// Address-stream walker: like the interpreter but data-free.
+struct Tracer {
+  const ir::Program* program;
+  CacheSim* cache;
+  uint64_t max_accesses;
+  uint64_t accesses = 0;
+  uint64_t executed_stores = 0;
+  bool truncated = false;
+
+  ir::VarSlotMap slots;
+  std::unordered_map<int, uint64_t> base_addr;
+
+  struct CompiledAccess {
+    ir::CompiledExpr offset;
+    uint64_t base = 0;
+    double dummy = 0;
+  };
+  struct Guard {
+    ir::CompiledExpr expr;
+    int64_t lo, hi, modulus, rem;
+  };
+  struct CompiledLeafVal {
+    ir::ValKind kind;
+    std::vector<Guard> guards;          // kSelect
+    std::vector<CompiledAccess> loads;  // flattened loads of this subtree
+    std::unique_ptr<CompiledLeafVal> a;
+    std::unique_ptr<CompiledLeafVal> b;
+  };
+  struct Node {
+    ir::StmtKind kind;
+    int slot = -1;
+    int64_t extent = 0;
+    std::vector<Node> children;
+    // store payload
+    std::unique_ptr<CompiledLeafVal> value;
+    CompiledAccess store;
+    bool accumulate_reload = false;
+  };
+
+  uint64_t AssignBases() {
+    uint64_t next = 4096;
+    for (const auto& decl : program->buffers) {
+      base_addr[decl.tensor.id] = next;
+      uint64_t bytes = static_cast<uint64_t>(decl.tensor.SizeBytes());
+      next += (bytes + 4095) & ~uint64_t{4095};
+    }
+    return next;
+  }
+
+  CompiledAccess CompileAccess(int tensor_id, const std::vector<ir::Expr>& indices) {
+    const ir::BufferDecl* decl = program->FindBuffer(tensor_id);
+    ALT_CHECK(decl != nullptr);
+    auto strides = ir::RowMajorStrides(decl->tensor.shape);
+    ir::Expr linear = ir::Const(0);
+    for (size_t d = 0; d < indices.size(); ++d) {
+      linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
+    }
+    CompiledAccess access;
+    access.offset = ir::CompiledExpr::Compile(linear, slots);
+    access.base = base_addr[tensor_id];
+    return access;
+  }
+
+  std::unique_ptr<CompiledLeafVal> CompileVal(const ir::Val& v) {
+    auto out = std::make_unique<CompiledLeafVal>();
+    out->kind = v->kind;
+    if (v->kind == ir::ValKind::kLoad) {
+      out->loads.push_back(CompileAccess(v->tensor_id, v->indices));
+      return out;
+    }
+    if (v->kind == ir::ValKind::kSelect) {
+      for (const auto& c : v->conds) {
+        out->guards.push_back({ir::CompiledExpr::Compile(c.expr, slots), c.lo, c.hi,
+                               c.modulus, c.rem});
+      }
+      out->a = CompileVal(v->a);
+      out->b = v->b ? CompileVal(v->b) : nullptr;
+      return out;
+    }
+    // Ordinary node: flatten children loads, keep selects nested.
+    if (v->a) {
+      auto ca = CompileVal(v->a);
+      if (ca->kind == ir::ValKind::kSelect || !ca->guards.empty() || ca->a) {
+        out->a = std::move(ca);
+      } else {
+        for (auto& l : ca->loads) {
+          out->loads.push_back(std::move(l));
+        }
+      }
+    }
+    if (v->b) {
+      auto cb = CompileVal(v->b);
+      if (cb->kind == ir::ValKind::kSelect || !cb->guards.empty() || cb->a) {
+        out->b = std::move(cb);
+      } else {
+        for (auto& l : cb->loads) {
+          out->loads.push_back(std::move(l));
+        }
+      }
+    }
+    return out;
+  }
+
+  Node Compile(const ir::Stmt& stmt) {
+    Node node;
+    node.kind = stmt->kind;
+    switch (stmt->kind) {
+      case ir::StmtKind::kFor:
+        node.slot = slots.AddVar(stmt->loop_var->var_id);
+        node.extent = stmt->extent;
+        node.children.push_back(Compile(stmt->body));
+        break;
+      case ir::StmtKind::kBlock:
+        for (const auto& s : stmt->stmts) {
+          node.children.push_back(Compile(s));
+        }
+        break;
+      case ir::StmtKind::kStore:
+        node.value = CompileVal(stmt->value);
+        node.store = CompileAccess(stmt->tensor_id, stmt->indices);
+        node.accumulate_reload = stmt->mode == ir::StoreMode::kAccumulate;
+        break;
+    }
+    return node;
+  }
+
+  void EmitVal(const CompiledLeafVal& v, const int64_t* env) {
+    if (v.kind == ir::ValKind::kSelect) {
+      for (const auto& g : v.guards) {
+        int64_t e = g.expr.Eval(env);
+        if (e < g.lo || e >= g.hi) {
+          if (v.b) {
+            EmitVal(*v.b, env);
+          }
+          return;
+        }
+        if (g.modulus > 1) {
+          int64_t m = e % g.modulus;
+          if (m < 0) {
+            m += g.modulus;
+          }
+          if (m != g.rem) {
+            if (v.b) {
+              EmitVal(*v.b, env);
+            }
+            return;
+          }
+        }
+      }
+      if (v.a) {
+        EmitVal(*v.a, env);
+      }
+      return;
+    }
+    for (const auto& l : v.loads) {
+      cache->Access(l.base + static_cast<uint64_t>(l.offset.Eval(env)) * 4, false);
+      ++accesses;
+    }
+    if (v.a) {
+      EmitVal(*v.a, env);
+    }
+    if (v.b) {
+      EmitVal(*v.b, env);
+    }
+  }
+
+  void Exec(const Node& node, int64_t* env) {
+    if (truncated) {
+      return;
+    }
+    switch (node.kind) {
+      case ir::StmtKind::kFor:
+        for (int64_t i = 0; i < node.extent; ++i) {
+          env[node.slot] = i;
+          Exec(node.children[0], env);
+          if (truncated) {
+            return;
+          }
+        }
+        break;
+      case ir::StmtKind::kBlock:
+        for (const auto& child : node.children) {
+          Exec(child, env);
+          if (truncated) {
+            return;
+          }
+        }
+        break;
+      case ir::StmtKind::kStore: {
+        EmitVal(*node.value, env);
+        uint64_t addr = node.store.base + static_cast<uint64_t>(node.store.offset.Eval(env)) * 4;
+        if (node.accumulate_reload) {
+          cache->Access(addr, false);
+          ++accesses;
+        }
+        cache->Access(addr, true);
+        ++accesses;
+        ++executed_stores;
+        if (accesses >= max_accesses) {
+          truncated = true;
+        }
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TraceStats SimulateProgramTrace(const ir::Program& program, const Machine& machine,
+                                uint64_t max_accesses) {
+  CacheSim cache(machine);
+  Tracer tracer;
+  tracer.program = &program;
+  tracer.cache = &cache;
+  tracer.max_accesses = max_accesses;
+  tracer.AssignBases();
+  TraceStats out;
+  if (!program.root) {
+    return out;
+  }
+  Tracer::Node plan = tracer.Compile(program.root);
+  std::vector<int64_t> env(tracer.slots.size(), 0);
+  tracer.Exec(plan, env.data());
+
+  int64_t total_stores = ir::CountStoreExecutions(program.root);
+  out.fraction = total_stores > 0
+                     ? static_cast<double>(tracer.executed_stores) / total_stores
+                     : 1.0;
+  double scale = out.fraction > 0 ? 1.0 / out.fraction : 1.0;
+  out.loads = static_cast<uint64_t>(cache.loads() * scale);
+  out.stores = static_cast<uint64_t>(cache.stores() * scale);
+  for (const auto& s : cache.stats()) {
+    CacheSim::LevelStats scaled;
+    scaled.accesses = static_cast<uint64_t>(s.accesses * scale);
+    scaled.misses = static_cast<uint64_t>(s.misses * scale);
+    scaled.prefetches = static_cast<uint64_t>(s.prefetches * scale);
+    out.levels.push_back(scaled);
+  }
+  return out;
+}
+
+}  // namespace alt::sim

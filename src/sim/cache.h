@@ -1,0 +1,83 @@
+// Trace-driven set-associative cache hierarchy with a next-N-line prefetcher.
+//
+// Used by the profiling micro-benchmarks (paper Table 2 and Table 3) where
+// exact miss counts matter: the Table 2 experiment is precisely about a
+// hardware prefetcher fetching N contiguous lines on a miss, which decides
+// layout tiling vs loop tiling.
+
+#ifndef ALT_SIM_CACHE_H_
+#define ALT_SIM_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/stmt.h"
+#include "src/sim/machine.h"
+
+namespace alt::sim {
+
+class CacheSim {
+ public:
+  explicit CacheSim(const Machine& machine);
+
+  // One scalar access of `bytes` bytes at byte address `addr`.
+  void Access(uint64_t addr, bool is_store);
+
+  struct LevelStats {
+    uint64_t accesses = 0;
+    uint64_t misses = 0;        // demand misses (prefetched lines hit)
+    uint64_t prefetches = 0;    // lines brought in by the prefetcher
+  };
+
+  const std::vector<LevelStats>& stats() const { return stats_; }
+  uint64_t loads() const { return loads_; }
+  uint64_t stores() const { return stores_; }
+
+ private:
+  struct Level {
+    int64_t sets;
+    int assoc;
+    int line_shift;
+    // tags[set * assoc + way]; lru holds per-way ages.
+    std::vector<uint64_t> tags;
+    std::vector<uint32_t> lru;
+    std::vector<bool> valid;
+  };
+
+  // Returns true on hit at `level`; on miss recurses downward and installs.
+  bool AccessLevel(size_t level, uint64_t line_addr, bool is_prefetch);
+
+  std::vector<Level> levels_;
+  std::vector<LevelStats> stats_;
+  struct Stream {
+    uint64_t last_line = 0;
+    bool valid = false;
+    bool confirmed = false;
+    uint32_t last_touch = 0;
+  };
+
+  int prefetch_lines_;
+  std::array<Stream, 8> streams_{};
+  uint64_t loads_ = 0;
+  uint64_t stores_ = 0;
+  uint32_t tick_ = 0;
+};
+
+// Runs the program's exact access stream (loads then the store of every
+// statement execution, guards respected) through the cache simulator.
+// Stops after `max_accesses` and scales the results linearly; returns the
+// simulated fraction in `fraction_out` (1.0 = complete).
+struct TraceStats {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  std::vector<CacheSim::LevelStats> levels;
+  double fraction = 1.0;  // portion of the program actually simulated
+};
+
+TraceStats SimulateProgramTrace(const ir::Program& program, const Machine& machine,
+                                uint64_t max_accesses = 50'000'000);
+
+}  // namespace alt::sim
+
+#endif  // ALT_SIM_CACHE_H_

@@ -1,0 +1,57 @@
+// Analytic performance model.
+//
+// Estimates latency and memory-hierarchy counters for a lowered program on a
+// Machine, fast enough to serve as the tuner's measurement device (the paper
+// measures on real hardware; our "hardware" is this model plus, for the
+// profiling micro-benchmarks, the trace-driven cache simulator in cache.h).
+//
+// The model captures exactly the effects the paper's layout tuning exploits:
+//   * contiguous-run length of each access (layout tiling lengthens runs,
+//     enabling line utilization and next-N-line prefetching — Table 2),
+//   * tile-footprint vs cache-capacity fit per loop level (data reuse),
+//   * SIMD vectorizability of the innermost loop (channels-last layouts),
+//   * GPU coalescing, multi-core scaling, DRAM bandwidth ceilings.
+
+#ifndef ALT_SIM_PERF_MODEL_H_
+#define ALT_SIM_PERF_MODEL_H_
+
+#include <vector>
+
+#include "src/ir/stmt.h"
+#include "src/sim/machine.h"
+
+namespace alt::sim {
+
+struct PerfCounters {
+  double latency_us = 0.0;
+  double instructions = 0.0;
+  double l1_loads = 0.0;
+  double l1_misses = 0.0;
+  double l1_stores = 0.0;
+  double l2_misses = 0.0;
+  double llc_misses = 0.0;
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    latency_us += o.latency_us;
+    instructions += o.instructions;
+    l1_loads += o.l1_loads;
+    l1_misses += o.l1_misses;
+    l1_stores += o.l1_stores;
+    l2_misses += o.l2_misses;
+    llc_misses += o.llc_misses;
+    flops += o.flops;
+    dram_bytes += o.dram_bytes;
+    return *this;
+  }
+};
+
+PerfCounters EstimateProgram(const ir::Program& program, const Machine& machine);
+
+// Sums estimates over a network's programs (layout conversions included).
+PerfCounters EstimatePrograms(const std::vector<ir::Program>& programs, const Machine& machine);
+
+}  // namespace alt::sim
+
+#endif  // ALT_SIM_PERF_MODEL_H_

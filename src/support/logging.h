@@ -1,0 +1,45 @@
+// Tiny leveled logger. Default level is warning so tuning loops stay quiet;
+// benches and examples raise it explicitly.
+
+#ifndef ALT_SUPPORT_LOGGING_H_
+#define ALT_SUPPORT_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace alt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace alt
+
+#define ALT_LOG(level)                                                       \
+  (::alt::LogLevel::k##level < ::alt::GetLogLevel())                         \
+      ? (void)0                                                              \
+      : ::alt::internal::LogSink() &                                         \
+            ::alt::internal::LogMessage(::alt::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // ALT_SUPPORT_LOGGING_H_

@@ -1,0 +1,108 @@
+// Lightweight status / error propagation used across the ALT code base.
+//
+// We deliberately avoid exceptions in the hot tuning paths; fallible APIs
+// return Status or StatusOr<T>. Irrecoverable internal invariant violations
+// use ALT_CHECK which aborts with a message.
+
+#ifndef ALT_SUPPORT_STATUS_H_
+#define ALT_SUPPORT_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace alt {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Plain value-type status: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Minimal StatusOr: either a value or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}                  // NOLINT(google-explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}          // NOLINT(google-explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond, const std::string& msg);
+
+}  // namespace alt
+
+#define ALT_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::alt::CheckFailed(__FILE__, __LINE__, #cond, "");             \
+    }                                                                \
+  } while (0)
+
+#define ALT_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << msg;                                                   \
+      ::alt::CheckFailed(__FILE__, __LINE__, #cond, oss_.str());     \
+    }                                                                \
+  } while (0)
+
+#define ALT_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::alt::Status status_ = (expr);         \
+    if (!status_.ok()) return status_;      \
+  } while (0)
+
+#endif  // ALT_SUPPORT_STATUS_H_

@@ -1,0 +1,52 @@
+#include "src/support/string_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/support/status.h"
+
+namespace alt {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string FormatMicros(double us) {
+  char buf[64];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  }
+  return buf;
+}
+
+std::vector<int64_t> Divisors(int64_t n) {
+  ALT_CHECK(n > 0);
+  std::vector<int64_t> out;
+  for (int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      out.push_back(d);
+      if (d != n / d) {
+        out.push_back(n / d);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace alt

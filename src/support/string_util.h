@@ -1,0 +1,36 @@
+#ifndef ALT_SUPPORT_STRING_UTIL_H_
+#define ALT_SUPPORT_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace alt {
+
+// Joins container elements with a separator, using operator<< on elements.
+template <typename Container>
+std::string Join(const Container& c, const std::string& sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& e : c) {
+    if (!first) {
+      oss << sep;
+    }
+    oss << e;
+    first = false;
+  }
+  return oss.str();
+}
+
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// "1.23 ms" / "456 us" style human-friendly duration from microseconds.
+std::string FormatMicros(double us);
+
+// All positive divisors of n, ascending.
+std::vector<int64_t> Divisors(int64_t n);
+
+}  // namespace alt
+
+#endif  // ALT_SUPPORT_STRING_UTIL_H_

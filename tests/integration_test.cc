@@ -1,0 +1,265 @@
+// Whole-pipeline integration tests: small but structurally complete networks
+// (residual blocks, depthwise bottlenecks, a transformer layer, 3-D convs)
+// tuned and/or layout-transformed, lowered, interpreted, and validated
+// against the reference executor.
+
+#include <gtest/gtest.h>
+
+#include "src/autotune/layout_templates.h"
+#include "src/core/alt.h"
+#include "src/graph/layout_assignment.h"
+#include "src/graph/networks.h"
+#include "src/loop/lowering.h"
+#include "src/runtime/session.h"
+
+namespace alt {
+namespace {
+
+using graph::Graph;
+using graph::LayoutAssignment;
+using graph::OpKind;
+
+constexpr double kTol = 5e-3;
+
+// A miniature residual stage: conv-bias-relu, conv-bias, downsample 1x1,
+// add, relu — the exact dataflow shape of a ResNet basic block.
+Graph MiniResidualBlock() {
+  Graph g("mini_residual");
+  int x = g.AddInput("x", {1, 8, 12, 12});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p1 = g.AddPad(x, pad, "pad1");
+  int w1 = g.AddConstant("w1", {16, 8, 3, 3});
+  graph::ConvAttrs s2;
+  s2.stride[0] = s2.stride[1] = 2;
+  int c1 = g.AddConv(OpKind::kConv2d, p1, w1, s2, "conv1");
+  int b1 = g.AddConstant("b1", {16});
+  int y = g.AddRelu(g.AddBiasAdd(c1, b1, 1, "bias1"), "relu1");
+
+  int p2 = g.AddPad(y, pad, "pad2");
+  int w2 = g.AddConstant("w2", {16, 16, 3, 3});
+  graph::ConvAttrs s1;
+  int c2 = g.AddConv(OpKind::kConv2d, p2, w2, s1, "conv2");
+  int b2 = g.AddConstant("b2", {16});
+  int main_path = g.AddBiasAdd(c2, b2, 1, "bias2");
+
+  int wd = g.AddConstant("wd", {16, 8, 1, 1});
+  int down = g.AddConv(OpKind::kConv2d, x, wd, s2, "down");
+
+  int sum = g.AddAdd(main_path, down, "add");
+  g.AddRelu(sum, "relu_out");
+  return g;
+}
+
+TEST(Integration, ResidualBlockCanonical) {
+  Graph g = MiniResidualBlock();
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, 5), kTol);
+}
+
+TEST(Integration, ResidualBlockMixedLayouts) {
+  Graph g = MiniResidualBlock();
+  // Put different layouts on the two convs: channels-last on conv1 (with
+  // propagation) and a blocked layout on conv2's side.
+  LayoutAssignment la;
+  int c1 = -1, c2 = -1;
+  for (const auto& op : g.ops()) {
+    if (op.name == "conv1") {
+      c1 = op.output;
+    }
+    if (op.name == "conv2") {
+      c2 = op.output;
+    }
+  }
+  ASSERT_GE(c1, 0);
+  ASSERT_GE(c2, 0);
+  la.Set(c1, autotune::ChannelsLast(2));
+  graph::PropagateOutputLayout(g, la, c1);
+  auto blocked = autotune::BlockedChannels(g.tensor(c2).shape, 4);
+  ASSERT_TRUE(blocked.ok());
+  la.Set(c2, *blocked);
+  graph::PropagateOutputLayout(g, la, c2);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 6), kTol);
+}
+
+TEST(Integration, DepthwiseBottleneckTuned) {
+  // Mini MobileNet inverted residual: expand 1x1 -> depthwise 3x3 -> project.
+  Graph g("mini_bottleneck");
+  int x = g.AddInput("x", {1, 8, 10, 10});
+  int we = g.AddConstant("we", {24, 8, 1, 1});
+  graph::ConvAttrs a1;
+  int e = g.AddConv(OpKind::kConv2d, x, we, a1, "expand");
+  int re = g.AddRelu(e, "relu_e");
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int pd = g.AddPad(re, pad, "pad");
+  int wd = g.AddConstant("wd", {24, 1, 3, 3});
+  graph::ConvAttrs dw;
+  dw.groups = 24;
+  int d = g.AddConv(OpKind::kConv2d, pd, wd, dw, "depthwise");
+  int rd = g.AddRelu(d, "relu_d");
+  int wp = g.AddConstant("wp", {8, 24, 1, 1});
+  int proj = g.AddConv(OpKind::kConv2d, rd, wp, a1, "project");
+  g.AddAdd(proj, x, "residual");
+
+  // Tune it end-to-end and validate the tuned programs numerically.
+  core::AltOptions options;
+  options.budget = 120;
+  options.method = autotune::SearchMethod::kRandom;
+  auto compiled = core::Compile(g, sim::Machine::ArmCpu(), options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  Rng rng(31);
+  runtime::TensorDataMap data;
+  runtime::FillGraphInputs(compiled->graph, rng, data);
+  loop::LoweredNetwork net;
+  net.groups = compiled->groups;
+  net.programs = compiled->programs;
+  auto out = runtime::RunLoweredNetwork(compiled->graph, compiled->assignment, net, data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(runtime::ExecuteReference(compiled->graph, data).ok());
+  int out_id = net.groups.back().OutputTensor(compiled->graph);
+  EXPECT_LT(runtime::MaxAbsDiff(*out, data[out_id]), kTol);
+}
+
+TEST(Integration, TransformerLayerCanonical) {
+  // One miniature BERT-style layer (hidden 32): matmuls + bias + gelu +
+  // residual + layernorm + softmax path.
+  Graph g = graph::BuildBert(1, 64, 1, /*seq_len=*/8);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, 8), kTol);
+}
+
+TEST(Integration, Conv3dBlockWithLayouts) {
+  Graph g("mini3d");
+  int x = g.AddInput("x", {1, 4, 6, 8, 8});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1, 1};
+  pad.after = {0, 0, 1, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {8, 4, 3, 3, 3});
+  graph::ConvAttrs attrs;
+  attrs.spatial_dims = 3;
+  int c = g.AddConv(OpKind::kConv3d, p, w, attrs, "conv3d");
+  int b = g.AddConstant("b", {8});
+  g.AddRelu(g.AddBiasAdd(c, b, 1, "bias"), "relu");
+
+  const graph::Op& conv = g.op(g.ProducerOf(c));
+  autotune::ConvLayoutParams params;
+  params.spatial_tiles = {3, 4, 4};
+  params.out_tile = 4;
+  params.in_tile = 2;
+  params.w_in_tile = 2;
+  params.w_out_tile = 4;
+  auto layouts = autotune::MakeConvTemplates(g, conv, params);
+  ASSERT_TRUE(layouts.ok()) << layouts.status().ToString();
+  LayoutAssignment la;
+  la.Set(c, layouts->output);
+  la.Set(p, layouts->input);
+  la.Set(w, layouts->weight);
+  graph::PropagateOutputLayout(g, la, c);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 9), kTol);
+}
+
+TEST(Integration, Fig12SubgraphWithConversionOp) {
+  // Shrunk §7.3.2 subgraph: tune both convs independently so a conversion op
+  // appears between them; the converted network must stay correct.
+  Graph g("fig12_mini");
+  int x = g.AddInput("x", {1, 8, 7, 7});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w1 = g.AddConstant("w1", {8, 8, 3, 3});
+  graph::ConvAttrs attrs;
+  int c1 = g.AddConv(OpKind::kConv2d, p, w1, attrs, "c3x3");
+  int w2 = g.AddConstant("w2", {16, 8, 1, 1});
+  int c2 = g.AddConv(OpKind::kConv2d, c1, w2, attrs, "c1x1");
+  (void)c2;
+
+  LayoutAssignment la;
+  la.Set(c1, autotune::ChannelsLast(2));
+  auto blocked = autotune::BlockedChannels(g.tensor(c1).shape, 4);
+  ASSERT_TRUE(blocked.ok());
+  auto sat = graph::RequestInputLayout(g, la, g.ProducerOf(c2), 0, *blocked);
+  ASSERT_EQ(sat, graph::InputSatisfaction::kConversionInserted);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 10), kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning properties.
+// ---------------------------------------------------------------------------
+
+TEST(Partitioning, EveryOpAppearsExactlyOnce) {
+  Graph g = MiniResidualBlock();
+  LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  std::vector<int> count(g.ops().size(), 0);
+  for (const auto& grp : groups) {
+    ++count[grp.anchor_op];
+    for (int f : grp.fused_ops) {
+      ++count[f];
+    }
+  }
+  for (size_t i = 0; i < count.size(); ++i) {
+    EXPECT_EQ(count[i], 1) << "op " << i;
+  }
+}
+
+TEST(Partitioning, FusionDisabledYieldsSingletonGroups) {
+  Graph g = MiniResidualBlock();
+  LayoutAssignment la;
+  auto fused = loop::PartitionGraph(g, la, true);
+  auto unfused = loop::PartitionGraph(g, la, false);
+  EXPECT_GT(unfused.size(), fused.size());
+  for (const auto& grp : unfused) {
+    EXPECT_TRUE(grp.fused_ops.empty());
+  }
+  // Both partitions execute to the same numbers.
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 12, /*enable_fusion=*/false), kTol);
+}
+
+TEST(Partitioning, MultiConsumerTensorIsNotFused) {
+  // The residual input x feeds two convs: neither may fuse across it.
+  Graph g("fanout");
+  int x = g.AddInput("x", {1, 4, 4, 4});
+  int r = g.AddRelu(x, "relu");
+  g.AddMulScalar(r, 2.0, "a");
+  g.AddMulScalar(r, 3.0, "b");
+  LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  EXPECT_EQ(groups.size(), 3u);  // relu cannot fuse into either consumer
+}
+
+// ---------------------------------------------------------------------------
+// Tuned-variant consistency on a shared workload.
+// ---------------------------------------------------------------------------
+
+TEST(Integration, AllVariantsStayCorrect) {
+  Graph g = MiniResidualBlock();
+  for (auto variant : {core::AltVariant::kFull, core::AltVariant::kLoopOnly,
+                       core::AltVariant::kWithoutPropagation}) {
+    core::AltOptions options;
+    options.budget = 80;
+    options.variant = variant;
+    options.method = autotune::SearchMethod::kRandom;
+    auto compiled = core::Compile(g, sim::Machine::IntelCpu(), options);
+    ASSERT_TRUE(compiled.ok()) << core::VariantName(variant);
+    Rng rng(41);
+    runtime::TensorDataMap data;
+    runtime::FillGraphInputs(compiled->graph, rng, data);
+    loop::LoweredNetwork net;
+    net.groups = compiled->groups;
+    net.programs = compiled->programs;
+    auto out = runtime::RunLoweredNetwork(compiled->graph, compiled->assignment, net, data);
+    ASSERT_TRUE(out.ok()) << core::VariantName(variant) << ": "
+                          << out.status().ToString();
+    ASSERT_TRUE(runtime::ExecuteReference(compiled->graph, data).ok());
+    int out_id = net.groups.back().OutputTensor(compiled->graph);
+    EXPECT_LT(runtime::MaxAbsDiff(*out, data[out_id]), kTol)
+        << core::VariantName(variant);
+  }
+}
+
+}  // namespace
+}  // namespace alt

@@ -1,0 +1,117 @@
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/ir/eval.h"
+#include "src/ir/expr.h"
+
+namespace alt::ir {
+namespace {
+
+TEST(ExprTest, ConstantFolding) {
+  Expr a = Const(6);
+  Expr b = Const(4);
+  EXPECT_TRUE(IsConst(Add(a, b), 10));
+  EXPECT_TRUE(IsConst(Sub(a, b), 2));
+  EXPECT_TRUE(IsConst(Mul(a, b), 24));
+  EXPECT_TRUE(IsConst(FloorDiv(a, b), 1));
+  EXPECT_TRUE(IsConst(Mod(a, b), 2));
+  EXPECT_TRUE(IsConst(Min(a, b), 4));
+  EXPECT_TRUE(IsConst(Max(a, b), 6));
+}
+
+TEST(ExprTest, IdentityFolding) {
+  Expr x = MakeVar("x");
+  EXPECT_EQ(Add(x, 0).get(), x.get());
+  EXPECT_EQ(Mul(x, 1).get(), x.get());
+  EXPECT_TRUE(IsZero(Mul(x, 0)));
+  EXPECT_EQ(FloorDiv(x, 1).get(), x.get());
+  EXPECT_TRUE(IsZero(Mod(x, 1)));
+  EXPECT_TRUE(IsZero(Sub(x, x)));
+}
+
+TEST(ExprTest, MulDivCancellation) {
+  Expr x = MakeVar("x");
+  // (x * 8) / 4 == x * 2
+  Expr e = FloorDiv(Mul(x, 8), 4);
+  std::unordered_map<int, int64_t> env{{x->var_id, 5}};
+  EXPECT_EQ(Eval(e, env), 10);
+  EXPECT_EQ(e->kind, ExprKind::kMul);
+}
+
+TEST(ExprTest, FloorDivSemantics) {
+  Expr x = MakeVar("x");
+  Expr d = FloorDiv(x, Const(4));
+  Expr m = Mod(x, Const(4));
+  std::unordered_map<int, int64_t> env{{x->var_id, -3}};
+  EXPECT_EQ(Eval(d, env), -1);  // floor(-3/4) = -1
+  EXPECT_EQ(Eval(m, env), 1);   // -3 mod 4 = 1
+}
+
+TEST(ExprTest, SubstituteReplacesVars) {
+  Expr x = MakeVar("x");
+  Expr y = MakeVar("y");
+  Expr e = Add(Mul(x, 3), y);
+  std::unordered_map<int, Expr> map{{x->var_id, Const(2)}};
+  Expr r = Substitute(e, map);
+  std::unordered_map<int, int64_t> env{{y->var_id, 7}};
+  EXPECT_EQ(Eval(r, env), 13);
+}
+
+TEST(ExprTest, CollectVarsDedup) {
+  Expr x = MakeVar("x");
+  Expr y = MakeVar("y");
+  Expr e = Add(Mul(x, 3), Add(y, x));
+  auto vars = CollectVars(e);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(ExprTest, ToStringRendersStructure) {
+  Expr x = MakeVarWithId("i", NextVarId());
+  Expr e = Add(Mul(x, 4), 1);
+  EXPECT_EQ(ToString(e), "((i * 4) + 1)");
+}
+
+TEST(CompiledExprTest, MatchesRecursiveEval) {
+  Expr i = MakeVar("i");
+  Expr j = MakeVar("j");
+  Expr e = Add(Mul(FloorDiv(i, 3), 16), Add(Mod(i, 3), Mul(j, Min(i, Const(5)))));
+  VarSlotMap slots;
+  int si = slots.AddVar(i->var_id);
+  int sj = slots.AddVar(j->var_id);
+  CompiledExpr ce = CompiledExpr::Compile(e, slots);
+  std::vector<int64_t> env(2);
+  for (int64_t vi = 0; vi < 20; ++vi) {
+    for (int64_t vj = 0; vj < 20; ++vj) {
+      env[si] = vi;
+      env[sj] = vj;
+      std::unordered_map<int, int64_t> ref_env{{i->var_id, vi}, {j->var_id, vj}};
+      EXPECT_EQ(ce.Eval(env.data()), Eval(e, ref_env)) << "i=" << vi << " j=" << vj;
+    }
+  }
+}
+
+TEST(CompiledExprTest, ConstantDetection) {
+  VarSlotMap slots;
+  CompiledExpr c = CompiledExpr::Compile(Const(42), slots);
+  EXPECT_TRUE(c.IsConstant());
+  EXPECT_EQ(c.Eval(nullptr), 42);
+}
+
+class ExprRandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprRandomizedTest, SplitReconstruction) {
+  // Property: i == (i / f) * f + (i % f) for all i, f.
+  int f = GetParam();
+  Expr x = MakeVar("x");
+  Expr recon = Add(Mul(FloorDiv(x, f), f), Mod(x, f));
+  for (int64_t v = 0; v < 100; ++v) {
+    std::unordered_map<int, int64_t> env{{x->var_id, v}};
+    EXPECT_EQ(Eval(recon, env), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ExprRandomizedTest, ::testing::Values(1, 2, 3, 4, 7, 16, 100));
+
+}  // namespace
+}  // namespace alt::ir

@@ -1,0 +1,122 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/string_util.h"
+
+namespace alt {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::InvalidArgument("bad factor");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad factor"), std::string::npos);
+}
+
+TEST(StatusTest, StatusOrValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = Status::NotFound("nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(RngTest, NextDoubleUniformish) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(Join(v, ", "), "1, 2, 3");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, FormatMicros) {
+  EXPECT_EQ(FormatMicros(12.3), "12.3 us");
+  EXPECT_EQ(FormatMicros(4567.0), "4.567 ms");
+  EXPECT_EQ(FormatMicros(2.5e6), "2.500 s");
+}
+
+TEST(StringUtilTest, DivisorsSortedAndComplete) {
+  auto d = Divisors(36);
+  EXPECT_EQ(d, (std::vector<int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+  EXPECT_EQ(Divisors(1), (std::vector<int64_t>{1}));
+  EXPECT_EQ(Divisors(7), (std::vector<int64_t>{1, 7}));
+}
+
+class DivisorsProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DivisorsProperty, EveryDivisorDivides) {
+  int64_t n = GetParam();
+  for (int64_t d : Divisors(n)) {
+    EXPECT_EQ(n % d, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, DivisorsProperty,
+                         ::testing::Values(2, 12, 16, 97, 128, 210, 1000, 2048));
+
+}  // namespace
+}  // namespace alt
