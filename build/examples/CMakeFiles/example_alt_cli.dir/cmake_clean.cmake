@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alt_cli.dir/alt_cli.cpp.o"
+  "CMakeFiles/example_alt_cli.dir/alt_cli.cpp.o.d"
+  "example_alt_cli"
+  "example_alt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_layout_playground.dir/layout_playground.cpp.o"
+  "CMakeFiles/example_layout_playground.dir/layout_playground.cpp.o.d"
+  "example_layout_playground"
+  "example_layout_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_layout_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

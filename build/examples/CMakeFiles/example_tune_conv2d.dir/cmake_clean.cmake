@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tune_conv2d.dir/tune_conv2d.cpp.o"
+  "CMakeFiles/example_tune_conv2d.dir/tune_conv2d.cpp.o.d"
+  "example_tune_conv2d"
+  "example_tune_conv2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tune_conv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

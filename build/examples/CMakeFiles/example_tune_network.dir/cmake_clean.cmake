@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tune_network.dir/tune_network.cpp.o"
+  "CMakeFiles/example_tune_network.dir/tune_network.cpp.o.d"
+  "example_tune_network"
+  "example_tune_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tune_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/gbt.cc" "src/CMakeFiles/alt_autotune.dir/autotune/gbt.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/gbt.cc.o.d"
+  "/root/repo/src/autotune/layout_templates.cc" "src/CMakeFiles/alt_autotune.dir/autotune/layout_templates.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/layout_templates.cc.o.d"
+  "/root/repo/src/autotune/mlp.cc" "src/CMakeFiles/alt_autotune.dir/autotune/mlp.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/mlp.cc.o.d"
+  "/root/repo/src/autotune/ppo.cc" "src/CMakeFiles/alt_autotune.dir/autotune/ppo.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/ppo.cc.o.d"
+  "/root/repo/src/autotune/space.cc" "src/CMakeFiles/alt_autotune.dir/autotune/space.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/space.cc.o.d"
+  "/root/repo/src/autotune/tuner.cc" "src/CMakeFiles/alt_autotune.dir/autotune/tuner.cc.o" "gcc" "src/CMakeFiles/alt_autotune.dir/autotune/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

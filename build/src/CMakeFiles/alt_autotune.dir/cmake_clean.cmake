@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_autotune.dir/autotune/gbt.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/gbt.cc.o.d"
+  "CMakeFiles/alt_autotune.dir/autotune/layout_templates.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/layout_templates.cc.o.d"
+  "CMakeFiles/alt_autotune.dir/autotune/mlp.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/mlp.cc.o.d"
+  "CMakeFiles/alt_autotune.dir/autotune/ppo.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/ppo.cc.o.d"
+  "CMakeFiles/alt_autotune.dir/autotune/space.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/space.cc.o.d"
+  "CMakeFiles/alt_autotune.dir/autotune/tuner.cc.o"
+  "CMakeFiles/alt_autotune.dir/autotune/tuner.cc.o.d"
+  "libalt_autotune.a"
+  "libalt_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

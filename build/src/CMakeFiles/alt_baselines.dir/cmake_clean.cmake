@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_baselines.dir/baselines/baselines.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/baselines.cc.o.d"
+  "libalt_baselines.a"
+  "libalt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

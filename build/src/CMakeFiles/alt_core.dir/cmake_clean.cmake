@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_core.dir/core/alt.cc.o"
+  "CMakeFiles/alt_core.dir/core/alt.cc.o.d"
+  "CMakeFiles/alt_core.dir/core/tuning_record.cc.o"
+  "CMakeFiles/alt_core.dir/core/tuning_record.cc.o.d"
+  "libalt_core.a"
+  "libalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

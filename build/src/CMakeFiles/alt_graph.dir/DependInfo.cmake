@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/alt_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/alt_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/layout_assignment.cc" "src/CMakeFiles/alt_graph.dir/graph/layout_assignment.cc.o" "gcc" "src/CMakeFiles/alt_graph.dir/graph/layout_assignment.cc.o.d"
+  "/root/repo/src/graph/networks.cc" "src/CMakeFiles/alt_graph.dir/graph/networks.cc.o" "gcc" "src/CMakeFiles/alt_graph.dir/graph/networks.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/CMakeFiles/alt_graph.dir/graph/op.cc.o" "gcc" "src/CMakeFiles/alt_graph.dir/graph/op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/alt_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/alt_graph.dir/graph/layout_assignment.cc.o"
+  "CMakeFiles/alt_graph.dir/graph/layout_assignment.cc.o.d"
+  "CMakeFiles/alt_graph.dir/graph/networks.cc.o"
+  "CMakeFiles/alt_graph.dir/graph/networks.cc.o.d"
+  "CMakeFiles/alt_graph.dir/graph/op.cc.o"
+  "CMakeFiles/alt_graph.dir/graph/op.cc.o.d"
+  "libalt_graph.a"
+  "libalt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

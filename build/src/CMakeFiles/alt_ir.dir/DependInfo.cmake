@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/eval.cc" "src/CMakeFiles/alt_ir.dir/ir/eval.cc.o" "gcc" "src/CMakeFiles/alt_ir.dir/ir/eval.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/CMakeFiles/alt_ir.dir/ir/expr.cc.o" "gcc" "src/CMakeFiles/alt_ir.dir/ir/expr.cc.o.d"
+  "/root/repo/src/ir/stmt.cc" "src/CMakeFiles/alt_ir.dir/ir/stmt.cc.o" "gcc" "src/CMakeFiles/alt_ir.dir/ir/stmt.cc.o.d"
+  "/root/repo/src/ir/tensor.cc" "src/CMakeFiles/alt_ir.dir/ir/tensor.cc.o" "gcc" "src/CMakeFiles/alt_ir.dir/ir/tensor.cc.o.d"
+  "/root/repo/src/ir/value.cc" "src/CMakeFiles/alt_ir.dir/ir/value.cc.o" "gcc" "src/CMakeFiles/alt_ir.dir/ir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

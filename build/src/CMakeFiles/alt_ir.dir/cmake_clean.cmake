@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_ir.dir/ir/eval.cc.o"
+  "CMakeFiles/alt_ir.dir/ir/eval.cc.o.d"
+  "CMakeFiles/alt_ir.dir/ir/expr.cc.o"
+  "CMakeFiles/alt_ir.dir/ir/expr.cc.o.d"
+  "CMakeFiles/alt_ir.dir/ir/stmt.cc.o"
+  "CMakeFiles/alt_ir.dir/ir/stmt.cc.o.d"
+  "CMakeFiles/alt_ir.dir/ir/tensor.cc.o"
+  "CMakeFiles/alt_ir.dir/ir/tensor.cc.o.d"
+  "CMakeFiles/alt_ir.dir/ir/value.cc.o"
+  "CMakeFiles/alt_ir.dir/ir/value.cc.o.d"
+  "libalt_ir.a"
+  "libalt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_layout.dir/layout/primitive.cc.o"
+  "CMakeFiles/alt_layout.dir/layout/primitive.cc.o.d"
+  "libalt_layout.a"
+  "libalt_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

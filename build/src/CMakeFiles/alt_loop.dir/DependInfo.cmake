@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loop/lowering.cc" "src/CMakeFiles/alt_loop.dir/loop/lowering.cc.o" "gcc" "src/CMakeFiles/alt_loop.dir/loop/lowering.cc.o.d"
+  "/root/repo/src/loop/schedule.cc" "src/CMakeFiles/alt_loop.dir/loop/schedule.cc.o" "gcc" "src/CMakeFiles/alt_loop.dir/loop/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_loop.dir/loop/lowering.cc.o"
+  "CMakeFiles/alt_loop.dir/loop/lowering.cc.o.d"
+  "CMakeFiles/alt_loop.dir/loop/schedule.cc.o"
+  "CMakeFiles/alt_loop.dir/loop/schedule.cc.o.d"
+  "libalt_loop.a"
+  "libalt_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/interpreter.cc" "src/CMakeFiles/alt_runtime.dir/runtime/interpreter.cc.o" "gcc" "src/CMakeFiles/alt_runtime.dir/runtime/interpreter.cc.o.d"
+  "/root/repo/src/runtime/reference.cc" "src/CMakeFiles/alt_runtime.dir/runtime/reference.cc.o" "gcc" "src/CMakeFiles/alt_runtime.dir/runtime/reference.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/CMakeFiles/alt_runtime.dir/runtime/session.cc.o" "gcc" "src/CMakeFiles/alt_runtime.dir/runtime/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_runtime.dir/runtime/interpreter.cc.o"
+  "CMakeFiles/alt_runtime.dir/runtime/interpreter.cc.o.d"
+  "CMakeFiles/alt_runtime.dir/runtime/reference.cc.o"
+  "CMakeFiles/alt_runtime.dir/runtime/reference.cc.o.d"
+  "CMakeFiles/alt_runtime.dir/runtime/session.cc.o"
+  "CMakeFiles/alt_runtime.dir/runtime/session.cc.o.d"
+  "libalt_runtime.a"
+  "libalt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_sim.dir/sim/cache.cc.o"
+  "CMakeFiles/alt_sim.dir/sim/cache.cc.o.d"
+  "CMakeFiles/alt_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/alt_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/alt_sim.dir/sim/perf_model.cc.o"
+  "CMakeFiles/alt_sim.dir/sim/perf_model.cc.o.d"
+  "libalt_sim.a"
+  "libalt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_support.dir/support/logging.cc.o"
+  "CMakeFiles/alt_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/alt_support.dir/support/rng.cc.o"
+  "CMakeFiles/alt_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/alt_support.dir/support/status.cc.o"
+  "CMakeFiles/alt_support.dir/support/status.cc.o.d"
+  "CMakeFiles/alt_support.dir/support/string_util.cc.o"
+  "CMakeFiles/alt_support.dir/support/string_util.cc.o.d"
+  "libalt_support.a"
+  "libalt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

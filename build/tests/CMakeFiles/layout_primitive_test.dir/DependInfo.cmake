@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/layout_primitive_test.cc" "tests/CMakeFiles/layout_primitive_test.dir/layout_primitive_test.cc.o" "gcc" "tests/CMakeFiles/layout_primitive_test.dir/layout_primitive_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_loop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

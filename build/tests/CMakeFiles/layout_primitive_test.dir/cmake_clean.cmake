@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_primitive_test.dir/layout_primitive_test.cc.o"
+  "CMakeFiles/layout_primitive_test.dir/layout_primitive_test.cc.o.d"
+  "layout_primitive_test"
+  "layout_primitive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_primitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

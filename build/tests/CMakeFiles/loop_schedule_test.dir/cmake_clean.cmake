@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_schedule_test.dir/loop_schedule_test.cc.o"
+  "CMakeFiles/loop_schedule_test.dir/loop_schedule_test.cc.o.d"
+  "loop_schedule_test"
+  "loop_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

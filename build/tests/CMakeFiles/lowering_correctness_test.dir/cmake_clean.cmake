@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowering_correctness_test.dir/lowering_correctness_test.cc.o"
+  "CMakeFiles/lowering_correctness_test.dir/lowering_correctness_test.cc.o.d"
+  "lowering_correctness_test"
+  "lowering_correctness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowering_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
