@@ -1,0 +1,164 @@
+#include "src/autotune/measure.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/ir/tensor.h"
+#include "src/loop/serialization.h"
+
+namespace alt::autotune {
+
+namespace {
+
+int ResolveThreads(int threads) {
+  if (threads > 0) {
+    return threads;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void AppendOpKey(const graph::Graph& g, const graph::LayoutAssignment& la, int op_id,
+                 std::ostringstream& oss) {
+  const graph::Op& op = g.op(op_id);
+  oss << "k" << static_cast<int>(op.kind);
+  // Every attribute the lowering consults must be part of the key; a missed
+  // attribute would alias distinct programs onto one cache entry.
+  oss << ";c" << op.conv.spatial_dims << "," << op.conv.groups;
+  for (int d = 0; d < 3; ++d) {
+    oss << "," << op.conv.stride[d] << "," << op.conv.dilation[d] << "," << op.conv.pad[d]
+        << "," << op.conv.output_pad[d];
+  }
+  oss << ";p" << op.pool.window[0] << "," << op.pool.window[1] << "," << op.pool.stride[0]
+      << "," << op.pool.stride[1] << "," << op.pool.pad[0] << "," << op.pool.pad[1] << ","
+      << (op.pool.global ? 1 : 0);
+  oss << ";z";
+  for (size_t d = 0; d < op.pad.before.size(); ++d) {
+    oss << op.pad.before[d] << "/" << op.pad.after[d] << ",";
+  }
+  oss << ";s" << op.scalar << ";b" << op.bias_axis;
+  for (int in : op.inputs) {
+    oss << ";i" << ir::ShapeToString(g.tensor(in).shape) << "@"
+        << loop::EncodeLayoutSeq(la.Get(in));
+  }
+  oss << ";o" << ir::ShapeToString(g.tensor(op.output).shape) << "@"
+      << loop::EncodeLayoutSeq(la.Get(op.output));
+}
+
+}  // namespace
+
+std::string GroupCacheKey(const graph::Graph& graph,
+                          const graph::LayoutAssignment& assignment,
+                          const loop::FusedGroup& group) {
+  std::ostringstream oss;
+  AppendOpKey(graph, assignment, group.anchor_op, oss);
+  for (int fused : group.fused_ops) {
+    oss << "|";
+    AppendOpKey(graph, assignment, fused, oss);
+  }
+  return oss.str();
+}
+
+MeasureEngine::MeasureEngine(const sim::Machine& machine, int threads, bool cache_enabled)
+    : machine_(machine), cache_enabled_(cache_enabled), pool_(ResolveThreads(threads)) {}
+
+int64_t MeasureEngine::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+std::vector<MeasureResult> MeasureEngine::Measure(
+    const graph::Graph& graph, const graph::LayoutAssignment& assignment,
+    const loop::FusedGroup& group, const std::vector<loop::LoopSchedule>& schedules) {
+  auto start = std::chrono::steady_clock::now();
+  const int n = static_cast<int>(schedules.size());
+  std::vector<MeasureResult> results(n);
+  stats_.requested += n;
+
+  // Resolve cache hits (and intra-batch duplicates) up front so only genuine
+  // misses reach the pool. `measure_slot[i]` marks slots that need work;
+  // `alias_of[i]` points a duplicate at the slot that measures its key.
+  std::vector<std::string> keys(n);
+  std::vector<bool> measure_slot(n, true);
+  std::vector<int> alias_of(n, -1);
+  if (cache_enabled_) {
+    const std::string group_key = GroupCacheKey(graph, assignment, group);
+    std::unordered_map<std::string, int> first_slot;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (int i = 0; i < n; ++i) {
+      keys[i] = group_key + "#" + loop::EncodeSchedule(schedules[i]);
+      auto cached = cache_.find(keys[i]);
+      if (cached != cache_.end()) {
+        results[i].latency_us = cached->second;
+        results[i].cache_hit = true;
+        measure_slot[i] = false;
+        continue;
+      }
+      auto [it, inserted] = first_slot.try_emplace(keys[i], i);
+      if (!inserted) {
+        alias_of[i] = it->second;
+        measure_slot[i] = false;
+      }
+    }
+  }
+
+  std::vector<int> work;
+  for (int i = 0; i < n; ++i) {
+    if (measure_slot[i]) {
+      work.push_back(i);
+    }
+  }
+
+  // Lower + estimate the misses concurrently. Each task writes only its own
+  // slot; LowerGroup/EstimateProgram are pure, so this is deterministic.
+  pool_.ParallelFor(static_cast<int>(work.size()), [&](int w) {
+    int i = work[w];
+    auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
+    if (!program.ok()) {
+      results[i].status = program.status();
+      return;
+    }
+    results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+  });
+
+  for (int i : work) {
+    if (results[i].status.ok()) {
+      ++stats_.measured;
+      if (cache_enabled_) {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        cache_.emplace(keys[i], results[i].latency_us);
+      }
+    } else {
+      ++stats_.failed;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (alias_of[i] >= 0) {
+      results[i] = results[alias_of[i]];
+      // The first occurrence paid the measurement; this one is free.
+      if (results[i].status.ok()) {
+        results[i].cache_hit = true;
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.failed;  // duplicate of a failing candidate
+      }
+    } else if (results[i].cache_hit) {
+      ++stats_.cache_hits;
+    }
+  }
+
+  stats_.wall_ms +=
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return results;
+}
+
+MeasureResult MeasureEngine::MeasureOne(const graph::Graph& graph,
+                                        const graph::LayoutAssignment& assignment,
+                                        const loop::FusedGroup& group,
+                                        const loop::LoopSchedule& schedule) {
+  return Measure(graph, assignment, group, {schedule})[0];
+}
+
+}  // namespace alt::autotune

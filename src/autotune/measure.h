@@ -1,0 +1,102 @@
+// Parallel measurement engine with a memoizing measurement cache.
+//
+// "Measurement" in this code base is lowering a fused group under a schedule
+// (loop::LowerGroup) and running the analytic performance model over the
+// result (sim::EstimateProgram). Both are pure functions of their inputs —
+// they share no mutable state beyond an atomic variable-id counter — so a
+// batch of candidates can be evaluated concurrently and still produce
+// bit-identical results. The engine exploits that in two ways:
+//
+//   * PARALLELISM — the cost-model top-k candidates of a tuning batch are
+//     lowered and estimated on a fixed-size thread pool. Results are written
+//     into positionally-aligned slots and the tuner reduces them in candidate
+//     rank order, so a fixed seed reproduces the single-threaded tuning
+//     trajectory bit-for-bit at any thread count.
+//   * MEMOIZATION — results are cached under a key derived from the group's
+//     structural signature (op kinds, attributes, shapes), the serialized
+//     layout sequences of every tensor the group touches, and the serialized
+//     schedule. A candidate revisited across rounds, layout proposals, or the
+//     loop-only stage is returned from the cache and costs zero budget.
+//
+// The cache is thread-safe; lookups and inserts happen on the reducing
+// thread, misses are measured on the pool.
+
+#ifndef ALT_AUTOTUNE_MEASURE_H_
+#define ALT_AUTOTUNE_MEASURE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/layout_assignment.h"
+#include "src/loop/lowering.h"
+#include "src/sim/perf_model.h"
+#include "src/support/thread_pool.h"
+
+namespace alt::autotune {
+
+// Per-run counters, surfaced on CompiledNetwork and logged at the end of a
+// tuning run so cache effectiveness and parallel speedup are observable.
+struct MeasureStats {
+  int64_t requested = 0;   // candidates submitted to the engine
+  int64_t measured = 0;    // actual lower+estimate executions
+  int64_t cache_hits = 0;  // candidates answered from the cache
+  int64_t failed = 0;      // candidates whose lowering failed
+  double wall_ms = 0.0;    // wall-clock spent inside Measure() calls
+};
+
+struct MeasureResult {
+  Status status = Status::Ok();
+  double latency_us = 1e30;
+  bool cache_hit = false;
+};
+
+// Structural cache-key prefix for one fused group under an assignment:
+// op kinds + attributes + tensor shapes + serialized layout sequences of all
+// tensors the group reads or writes. Two groups with equal keys lower to the
+// same program for any given schedule.
+std::string GroupCacheKey(const graph::Graph& graph,
+                          const graph::LayoutAssignment& assignment,
+                          const loop::FusedGroup& group);
+
+class MeasureEngine {
+ public:
+  // `threads` <= 0 means one thread per hardware core. `cache_enabled`
+  // toggles memoization (parallelism works either way).
+  MeasureEngine(const sim::Machine& machine, int threads, bool cache_enabled);
+
+  // Lowers and estimates every schedule for `group`; result i corresponds to
+  // schedules[i]. With the cache enabled, duplicate schedules within one call
+  // are measured once and later occurrences report as cache hits; with it
+  // disabled every slot is measured, preserving the historical trajectory.
+  std::vector<MeasureResult> Measure(const graph::Graph& graph,
+                                     const graph::LayoutAssignment& assignment,
+                                     const loop::FusedGroup& group,
+                                     const std::vector<loop::LoopSchedule>& schedules);
+
+  MeasureResult MeasureOne(const graph::Graph& graph,
+                           const graph::LayoutAssignment& assignment,
+                           const loop::FusedGroup& group,
+                           const loop::LoopSchedule& schedule);
+
+  const MeasureStats& stats() const { return stats_; }
+  int threads() const { return pool_.size(); }
+  bool cache_enabled() const { return cache_enabled_; }
+  int64_t cache_size() const;
+
+ private:
+  const sim::Machine& machine_;
+  const bool cache_enabled_;
+  ThreadPool pool_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, double> cache_;  // key -> latency_us
+
+  MeasureStats stats_;
+};
+
+}  // namespace alt::autotune
+
+#endif  // ALT_AUTOTUNE_MEASURE_H_

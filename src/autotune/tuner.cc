@@ -6,6 +6,7 @@
 
 #include "src/graph/networks.h"
 #include "src/support/logging.h"
+#include "src/support/string_util.h"
 
 namespace alt::autotune {
 
@@ -17,7 +18,11 @@ using loop::FusedGroup;
 using loop::LoopSchedule;
 
 JointTuner::JointTuner(const Graph& graph, const sim::Machine& machine, TuningOptions options)
-    : graph_(graph), machine_(machine), options_(options), rng_(options.seed) {
+    : graph_(graph),
+      machine_(machine),
+      options_(options),
+      engine_(machine, options.measure_threads, options.measure_cache),
+      rng_(options.seed) {
   if (options_.tune_layout && options_.method != SearchMethod::kRandom) {
     PpoOptions ppo;
     layout_agent_ = std::make_unique<PpoAgent>(ppo, rng_);
@@ -38,16 +43,9 @@ void JointTuner::RecordMeasurement(double latency_us, bool complex_group) {
   history_us_.push_back(best_total_us_);
 }
 
-double JointTuner::MeasureGroup(const Graph& g, const LayoutAssignment& la,
-                                const FusedGroup& group, const LoopSchedule& sched,
-                                Status* status) {
-  auto program = loop::LowerGroup(g, la, group, sched);
-  if (!program.ok()) {
-    *status = program.status();
-    return 1e30;
-  }
-  *status = Status::Ok();
-  return sim::EstimateProgram(*program, machine_).latency_us;
+MeasureResult JointTuner::MeasureGroup(const Graph& g, const LayoutAssignment& la,
+                                       const FusedGroup& group, const LoopSchedule& sched) {
+  return engine_.MeasureOne(g, la, group, sched);
 }
 
 std::vector<double> JointTuner::Features(const loop::LoopNestSignature& sig,
@@ -118,21 +116,31 @@ void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
                        ? std::min<int>(options_.top_k, ranked.size())
                        : static_cast<int>(ranked.size());
 
+  // Lower + estimate the predicted top-k concurrently; the reduction below
+  // walks results in rank order, so the trajectory (budget spend, cost-model
+  // training set, best-so-far updates) is identical for any thread count.
+  std::vector<LoopSchedule> scheds;
+  scheds.reserve(to_measure);
   for (int r = 0; r < to_measure; ++r) {
-    const Point& point = batch[ranked[r].second];
-    LoopSchedule sched = state.space.Decode(point);
-    Status status = Status::Ok();
-    double latency = MeasureGroup(g, la, group, sched, &status);
-    if (!status.ok()) {
+    scheds.push_back(state.space.Decode(batch[ranked[r].second]));
+  }
+  auto results = engine_.Measure(g, la, group, scheds);
+  const bool complex = graph::IsComplex(g.op(group.anchor_op).kind);
+  for (int r = 0; r < to_measure; ++r) {
+    const MeasureResult& res = results[r];
+    if (!res.status.ok()) {
       continue;
     }
-    RecordMeasurement(latency, graph::IsComplex(g.op(group.anchor_op).kind));
-    train_x_.push_back(Features(sig, sched, layout_state));
-    train_y_.push_back(std::log1p(latency));
-    if (latency < state.best_latency) {
-      state.best_latency = latency;
-      state.best_point = point;
-      state.best_schedule = sched;
+    if (!res.cache_hit) {
+      // Cache hits are free: no budget spent, no duplicate training row.
+      RecordMeasurement(res.latency_us, complex);
+      train_x_.push_back(Features(sig, scheds[r], layout_state));
+      train_y_.push_back(std::log1p(res.latency_us));
+    }
+    if (res.latency_us < state.best_latency) {
+      state.best_latency = res.latency_us;
+      state.best_point = batch[ranked[r].second];
+      state.best_schedule = scheds[r];
     }
   }
   if (options_.use_cost_model && train_x_.size() >= 24 && train_x_.size() % 24 == 0) {
@@ -288,12 +296,13 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
     LoopTuneState loop_state;
     loop_state.space = LoopSpace::ForSignature(*sig, machine_, options_.restricted_loop_space);
     LoopSchedule def = LoopSpace::Default(*sig, machine_);
-    Status status = Status::Ok();
-    double def_latency = MeasureGroup(graph_, la, group, def, &status);
-    if (status.ok()) {
-      RecordMeasurement(def_latency, true);
+    MeasureResult def_res = MeasureGroup(graph_, la, group, def);
+    if (def_res.status.ok()) {
+      if (!def_res.cache_hit) {
+        RecordMeasurement(def_res.latency_us, true);
+      }
       loop_state.best_schedule = def;
-      loop_state.best_latency = def_latency;
+      loop_state.best_latency = def_res.latency_us;
     }
     for (int round = 0; round < options_.loop_rounds_per_layout; ++round) {
       LoopTuneBatch(graph_, la, group, layout_state, loop_state);
@@ -343,6 +352,11 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
 
   int spent_start = measurements_;
   int failed_attempts = 0;
+  // With the measurement cache on, an agent that keeps re-proposing already-
+  // cached layouts spends no budget; the streak counter keeps that from
+  // spinning forever. (Cache off: every successful evaluation spends budget,
+  // so the streak never grows and historical behavior is unchanged.)
+  int zero_spend_streak = 0;
 
   // Known-good template instances first (see SeedLayouts).
   for (const auto& seed :
@@ -357,7 +371,9 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
     }
   }
 
-  while (measurements_ - spent_start < op_budget && failed_attempts < 4 * op_budget + 32) {
+  while (measurements_ - spent_start < op_budget && failed_attempts < 4 * op_budget + 32 &&
+         zero_spend_streak < 64) {
+    int spent_before = measurements_;
     Point point;
     if (layout_agent_ != nullptr) {
       auto action = layout_agent_->Act(agent_state);
@@ -387,6 +403,7 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
     if (layout_agent_ != nullptr) {
       layout_agent_->Reward(reward);
     }
+    zero_spend_streak = measurements_ == spent_before ? zero_spend_streak + 1 : 0;
   }
 
   return best_layouts;
@@ -534,24 +551,26 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
     // Seed with the heuristic default and, for complex groups, the best
     // schedule the joint stage found for the committed layout.
     LoopSchedule def = LoopSpace::Default(sigs[i], machine_);
-    Status status = Status::Ok();
-    double latency = MeasureGroup(graph_, assignment_, groups[i], def, &status);
-    if (status.ok()) {
-      RecordMeasurement(latency, graph::IsComplex(anchor.kind));
+    MeasureResult def_res = MeasureGroup(graph_, assignment_, groups[i], def);
+    if (def_res.status.ok()) {
+      if (!def_res.cache_hit) {
+        RecordMeasurement(def_res.latency_us, graph::IsComplex(anchor.kind));
+      }
       states[i].best_schedule = def;
-      states[i].best_latency = latency;
-      weight[i] = latency;
+      states[i].best_latency = def_res.latency_us;
+      weight[i] = def_res.latency_us;
     }
     auto joint_it = joint_best_schedules_.find(groups[i].anchor_op);
     if (joint_it != joint_best_schedules_.end()) {
-      Status jstatus = Status::Ok();
-      double jlat = MeasureGroup(graph_, assignment_, groups[i], joint_it->second, &jstatus);
-      if (jstatus.ok()) {
-        RecordMeasurement(jlat, true);
-        if (jlat < states[i].best_latency) {
+      MeasureResult jres = MeasureGroup(graph_, assignment_, groups[i], joint_it->second);
+      if (jres.status.ok()) {
+        if (!jres.cache_hit) {
+          RecordMeasurement(jres.latency_us, true);
+        }
+        if (jres.latency_us < states[i].best_latency) {
           states[i].best_schedule = joint_it->second;
-          states[i].best_latency = jlat;
-          weight[i] = jlat;
+          states[i].best_latency = jres.latency_us;
+          weight[i] = jres.latency_us;
         }
       }
     }
@@ -601,6 +620,13 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   result.perf = sim::EstimatePrograms(result.programs, machine_);
   result.measurements_used = measurements_;
   result.history_us = history_us_;
+  result.measure_stats = engine_.stats();
+  const MeasureStats& ms = result.measure_stats;
+  ALT_LOG(Info) << "measure engine: " << ms.requested << " candidates, " << ms.measured
+                << " measured, " << ms.cache_hits << " cache hits, " << ms.failed
+                << " failed lowerings, wall " << FormatMicros(ms.wall_ms * 1e3) << " ("
+                << engine_.threads() << " thread(s), cache "
+                << (engine_.cache_enabled() ? "on" : "off") << ")";
   return result;
 }
 

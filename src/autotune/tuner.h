@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/autotune/gbt.h"
+#include "src/autotune/measure.h"
 #include "src/autotune/ppo.h"
 #include "src/autotune/space.h"
 #include "src/graph/layout_assignment.h"
@@ -68,6 +69,15 @@ struct TuningOptions {
   bool seed_layout_candidates = true;
   bool reverse_op_order = false;  // tune complex ops consumer-first (ALT-BP)
 
+  // Parallel measurement engine (see measure.h). `measure_threads` is the
+  // number of threads lowering + estimating a batch's top-k candidates
+  // (<= 0: one per hardware core); results are reduced in candidate order, so
+  // any thread count reproduces the same tuning trajectory for a fixed seed.
+  // `measure_cache` memoizes measurements by (group, layouts, schedule) so
+  // revisited candidates cost zero budget.
+  int measure_threads = 1;
+  bool measure_cache = true;
+
   uint64_t seed = 1;
   const std::vector<double>* pretrained_agent = nullptr;  // PPO snapshot
   // When layout tuning is off, start from these layouts instead of
@@ -85,6 +95,8 @@ struct CompiledNetwork {
   int measurements_used = 0;
   // Best latency discovered after each measurement (tuning curve, Fig. 11).
   std::vector<double> history_us;
+  // Measurement-engine counters for this run (cache hits, wall time, ...).
+  MeasureStats measure_stats;
 };
 
 class JointTuner {
@@ -101,9 +113,8 @@ class JointTuner {
     double best_latency = 1e30;
   };
 
-  double MeasureGroup(const graph::Graph& g, const graph::LayoutAssignment& la,
-                      const loop::FusedGroup& group, const loop::LoopSchedule& sched,
-                      Status* status);
+  MeasureResult MeasureGroup(const graph::Graph& g, const graph::LayoutAssignment& la,
+                             const loop::FusedGroup& group, const loop::LoopSchedule& sched);
 
   // One batch of loop tuning on a group; updates `state`, spends budget.
   void LoopTuneBatch(const graph::Graph& g, const graph::LayoutAssignment& la,
@@ -127,6 +138,7 @@ class JointTuner {
   graph::Graph graph_;
   const sim::Machine& machine_;
   TuningOptions options_;
+  MeasureEngine engine_;
   Rng rng_;
   graph::LayoutAssignment assignment_;
   std::unique_ptr<PpoAgent> layout_agent_;

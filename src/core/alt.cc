@@ -37,6 +37,8 @@ StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
   tuning.method = options.method;
   tuning.two_level_templates = options.two_level_templates;
   tuning.seed = options.seed;
+  tuning.measure_threads = options.measure_threads;
+  tuning.measure_cache = options.measure_cache;
   switch (options.variant) {
     case AltVariant::kFull:
       break;

@@ -30,6 +30,10 @@ struct AltOptions {
   autotune::SearchMethod method = autotune::SearchMethod::kPpoPretrained;
   bool two_level_templates = false;
   uint64_t seed = 1;
+  // Measurement engine knobs (see autotune/measure.h): candidate lowering +
+  // estimation threads (<= 0: one per core) and measurement memoization.
+  int measure_threads = 1;
+  bool measure_cache = true;
 };
 
 StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,

@@ -3,84 +3,16 @@
 #include <sstream>
 
 #include "src/autotune/space.h"
+#include "src/loop/serialization.h"
 #include "src/support/string_util.h"
 
 namespace alt::core {
 
 using layout::LayoutSeq;
-using layout::Primitive;
-using layout::PrimitiveKind;
-
-namespace {
-
-std::string EncodePrimitive(const Primitive& p) {
-  std::ostringstream oss;
-  switch (p.kind) {
-    case PrimitiveKind::kSplit:
-      oss << "split:" << p.dim << ":" << Join(p.factors, ",");
-      break;
-    case PrimitiveKind::kReorder:
-      oss << "reorder:" << Join(p.perm, ",");
-      break;
-    case PrimitiveKind::kFuse:
-      oss << "fuse:" << p.dim << ":" << p.num_dims;
-      break;
-    case PrimitiveKind::kUnfold:
-      oss << "unfold:" << p.dim << ":" << p.tile_size << ":" << p.stride;
-      break;
-    case PrimitiveKind::kPad:
-      oss << "pad:" << p.dim << ":" << p.pad_before << ":" << p.pad_after;
-      break;
-    case PrimitiveKind::kStoreAt:
-      oss << "store_at:" << p.store_src_tensor << ":" << p.dim;
-      break;
-  }
-  return oss.str();
-}
-
-std::vector<int64_t> ParseInts(const std::string& s) {
-  std::vector<int64_t> out;
-  for (const auto& part : Split(s, ',')) {
-    if (!part.empty()) {
-      out.push_back(std::stoll(part));
-    }
-  }
-  return out;
-}
-
-StatusOr<Primitive> DecodePrimitive(const std::string& text) {
-  auto fields = Split(text, ':');
-  if (fields.empty()) {
-    return Status::InvalidArgument("empty primitive");
-  }
-  const std::string& kind = fields[0];
-  if (kind == "split" && fields.size() == 3) {
-    return Primitive::Split(std::stoi(fields[1]), ParseInts(fields[2]));
-  }
-  if (kind == "reorder" && fields.size() == 2) {
-    std::vector<int> perm;
-    for (int64_t v : ParseInts(fields[1])) {
-      perm.push_back(static_cast<int>(v));
-    }
-    return Primitive::Reorder(perm);
-  }
-  if (kind == "fuse" && fields.size() == 3) {
-    return Primitive::Fuse(std::stoi(fields[1]), std::stoi(fields[2]));
-  }
-  if (kind == "unfold" && fields.size() == 4) {
-    return Primitive::Unfold(std::stoi(fields[1]), std::stoll(fields[2]),
-                             std::stoll(fields[3]));
-  }
-  if (kind == "pad" && fields.size() == 4) {
-    return Primitive::Pad(std::stoi(fields[1]), std::stoll(fields[2]), std::stoll(fields[3]));
-  }
-  if (kind == "store_at" && fields.size() == 3) {
-    return Primitive::StoreAt(std::stoi(fields[1]), std::stoi(fields[2]));
-  }
-  return Status::InvalidArgument("unparsable primitive: " + text);
-}
-
-}  // namespace
+using loop::DecodePrimitive;
+using loop::DecodeScheduleToken;
+using loop::EncodePrimitive;
+using loop::EncodeSchedule;
 
 std::string SerializeTuningRecord(const autotune::CompiledNetwork& compiled) {
   std::ostringstream oss;
@@ -98,25 +30,8 @@ std::string SerializeTuningRecord(const autotune::CompiledNetwork& compiled) {
     oss << "\n";
   }
   for (size_t i = 0; i < compiled.groups.size() && i < compiled.schedules.size(); ++i) {
-    const auto& sched = compiled.schedules[i];
-    oss << "schedule " << compiled.graph.op(compiled.groups[i].anchor_op).name;
-    oss << " s=";
-    for (size_t j = 0; j < sched.spatial.size(); ++j) {
-      if (j > 0) {
-        oss << ";";
-      }
-      oss << sched.spatial[j].outer << "," << sched.spatial[j].mid << ","
-          << sched.spatial[j].inner << "," << sched.spatial[j].vec;
-    }
-    oss << " r=";
-    for (size_t j = 0; j < sched.reduction.size(); ++j) {
-      if (j > 0) {
-        oss << ";";
-      }
-      oss << sched.reduction[j].outer << "," << sched.reduction[j].inner;
-    }
-    oss << " par=" << sched.parallel_axes << " rot=" << sched.inner_order_rotation
-        << " unroll=" << (sched.unroll_inner_reduction ? 1 : 0) << "\n";
+    oss << "schedule " << compiled.graph.op(compiled.groups[i].anchor_op).name << " "
+        << EncodeSchedule(compiled.schedules[i]) << "\n";
   }
   return oss.str();
 }
@@ -153,32 +68,7 @@ StatusOr<TuningRecord> ParseTuningRecord(const std::string& text) {
         if (kv.size() != 2) {
           continue;
         }
-        if (kv[0] == "s") {
-          for (const auto& axis : Split(kv[1], ';')) {
-            auto parts = ParseInts(axis);
-            if (parts.size() != 4) {
-              return Status::InvalidArgument("bad spatial axis: " + axis);
-            }
-            sched.spatial.push_back({parts[0], parts[1], parts[2], parts[3]});
-          }
-        } else if (kv[0] == "r") {
-          for (const auto& axis : Split(kv[1], ';')) {
-            if (axis.empty()) {
-              continue;
-            }
-            auto parts = ParseInts(axis);
-            if (parts.size() != 2) {
-              return Status::InvalidArgument("bad reduction axis: " + axis);
-            }
-            sched.reduction.push_back({parts[0], parts[1]});
-          }
-        } else if (kv[0] == "par") {
-          sched.parallel_axes = std::stoi(kv[1]);
-        } else if (kv[0] == "rot") {
-          sched.inner_order_rotation = std::stoi(kv[1]);
-        } else if (kv[0] == "unroll") {
-          sched.unroll_inner_reduction = kv[1] == "1";
-        }
+        ALT_RETURN_IF_ERROR(DecodeScheduleToken(kv[0], kv[1], sched));
       }
       record.schedules[tokens[1]] = std::move(sched);
     } else {

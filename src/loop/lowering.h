@@ -11,6 +11,11 @@
 // Operator fusion follows §4.2: an element-wise consumer fuses into its
 // producer's loop nest only when both outputs share the same physical layout
 // (the layout-propagation mechanism exists precisely to make this align).
+//
+// Thread-safety: LowerGroup and friends only read their arguments and build
+// fresh IR; the sole shared state is the atomic variable-id counter behind
+// ir::MakeVar. The parallel measurement engine relies on this to lower
+// candidates concurrently — do not introduce global mutable state here.
 
 #ifndef ALT_LOOP_LOWERING_H_
 #define ALT_LOOP_LOWERING_H_

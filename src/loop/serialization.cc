@@ -1,0 +1,248 @@
+#include "src/loop/serialization.h"
+
+#include <sstream>
+
+#include "src/support/string_util.h"
+
+namespace alt::loop {
+
+using layout::LayoutSeq;
+using layout::Primitive;
+using layout::PrimitiveKind;
+
+std::string EncodePrimitive(const Primitive& p) {
+  std::ostringstream oss;
+  switch (p.kind) {
+    case PrimitiveKind::kSplit:
+      oss << "split:" << p.dim << ":" << Join(p.factors, ",");
+      break;
+    case PrimitiveKind::kReorder:
+      oss << "reorder:" << Join(p.perm, ",");
+      break;
+    case PrimitiveKind::kFuse:
+      oss << "fuse:" << p.dim << ":" << p.num_dims;
+      break;
+    case PrimitiveKind::kUnfold:
+      oss << "unfold:" << p.dim << ":" << p.tile_size << ":" << p.stride;
+      break;
+    case PrimitiveKind::kPad:
+      oss << "pad:" << p.dim << ":" << p.pad_before << ":" << p.pad_after;
+      break;
+    case PrimitiveKind::kStoreAt:
+      oss << "store_at:" << p.store_src_tensor << ":" << p.dim;
+      break;
+  }
+  return oss.str();
+}
+
+StatusOr<std::vector<int64_t>> ParseInts(const std::string& s) {
+  std::vector<int64_t> out;
+  for (const auto& part : Split(s, ',')) {
+    if (part.empty()) {
+      continue;
+    }
+    auto v = ParseInt64(part);
+    if (!v.ok()) {
+      return v.status();
+    }
+    out.push_back(*v);
+  }
+  return out;
+}
+
+namespace {
+
+StatusOr<int> ParseIntField(const std::string& s) {
+  auto v = ParseInt32(s);
+  if (!v.ok()) {
+    return Status::InvalidArgument("bad primitive field: " + v.status().message());
+  }
+  return v;
+}
+
+StatusOr<int64_t> ParseInt64Field(const std::string& s) {
+  auto v = ParseInt64(s);
+  if (!v.ok()) {
+    return Status::InvalidArgument("bad primitive field: " + v.status().message());
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<Primitive> DecodePrimitive(const std::string& text) {
+  auto fields = Split(text, ':');
+  if (fields.empty()) {
+    return Status::InvalidArgument("empty primitive");
+  }
+  const std::string& kind = fields[0];
+  if (kind == "split" && fields.size() == 3) {
+    auto dim = ParseIntField(fields[1]);
+    auto factors = ParseInts(fields[2]);
+    if (!dim.ok()) {
+      return dim.status();
+    }
+    if (!factors.ok()) {
+      return factors.status();
+    }
+    return Primitive::Split(*dim, *factors);
+  }
+  if (kind == "reorder" && fields.size() == 2) {
+    auto vals = ParseInts(fields[1]);
+    if (!vals.ok()) {
+      return vals.status();
+    }
+    std::vector<int> perm;
+    for (int64_t v : *vals) {
+      perm.push_back(static_cast<int>(v));
+    }
+    return Primitive::Reorder(perm);
+  }
+  if (kind == "fuse" && fields.size() == 3) {
+    auto dim = ParseIntField(fields[1]);
+    auto num = ParseIntField(fields[2]);
+    if (!dim.ok()) {
+      return dim.status();
+    }
+    if (!num.ok()) {
+      return num.status();
+    }
+    return Primitive::Fuse(*dim, *num);
+  }
+  if (kind == "unfold" && fields.size() == 4) {
+    auto dim = ParseIntField(fields[1]);
+    auto tile = ParseInt64Field(fields[2]);
+    auto stride = ParseInt64Field(fields[3]);
+    if (!dim.ok()) {
+      return dim.status();
+    }
+    if (!tile.ok()) {
+      return tile.status();
+    }
+    if (!stride.ok()) {
+      return stride.status();
+    }
+    return Primitive::Unfold(*dim, *tile, *stride);
+  }
+  if (kind == "pad" && fields.size() == 4) {
+    auto dim = ParseIntField(fields[1]);
+    auto before = ParseInt64Field(fields[2]);
+    auto after = ParseInt64Field(fields[3]);
+    if (!dim.ok()) {
+      return dim.status();
+    }
+    if (!before.ok()) {
+      return before.status();
+    }
+    if (!after.ok()) {
+      return after.status();
+    }
+    return Primitive::Pad(*dim, *before, *after);
+  }
+  if (kind == "store_at" && fields.size() == 3) {
+    auto src = ParseIntField(fields[1]);
+    auto dim = ParseIntField(fields[2]);
+    if (!src.ok()) {
+      return src.status();
+    }
+    if (!dim.ok()) {
+      return dim.status();
+    }
+    return Primitive::StoreAt(*src, *dim);
+  }
+  return Status::InvalidArgument("unparsable primitive: " + text);
+}
+
+std::string EncodeLayoutSeq(const LayoutSeq& seq) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& p : seq.primitives()) {
+    if (!first) {
+      oss << " ";
+    }
+    oss << EncodePrimitive(p);
+    first = false;
+  }
+  return oss.str();
+}
+
+std::string EncodeSchedule(const LoopSchedule& sched) {
+  std::ostringstream oss;
+  oss << "s=";
+  for (size_t j = 0; j < sched.spatial.size(); ++j) {
+    if (j > 0) {
+      oss << ";";
+    }
+    oss << sched.spatial[j].outer << "," << sched.spatial[j].mid << ","
+        << sched.spatial[j].inner << "," << sched.spatial[j].vec;
+  }
+  oss << " r=";
+  for (size_t j = 0; j < sched.reduction.size(); ++j) {
+    if (j > 0) {
+      oss << ";";
+    }
+    oss << sched.reduction[j].outer << "," << sched.reduction[j].inner;
+  }
+  oss << " par=" << sched.parallel_axes << " rot=" << sched.inner_order_rotation
+      << " unroll=" << (sched.unroll_inner_reduction ? 1 : 0);
+  return oss.str();
+}
+
+Status DecodeScheduleToken(const std::string& key, const std::string& value,
+                           LoopSchedule& sched) {
+  if (key == "s") {
+    for (const auto& axis : Split(value, ';')) {
+      if (axis.empty()) {
+        continue;
+      }
+      auto parts = ParseInts(axis);
+      if (!parts.ok()) {
+        return parts.status();
+      }
+      if (parts->size() != 4) {
+        return Status::InvalidArgument("bad spatial axis: " + axis);
+      }
+      sched.spatial.push_back({(*parts)[0], (*parts)[1], (*parts)[2], (*parts)[3]});
+    }
+    return Status::Ok();
+  }
+  if (key == "r") {
+    for (const auto& axis : Split(value, ';')) {
+      if (axis.empty()) {
+        continue;
+      }
+      auto parts = ParseInts(axis);
+      if (!parts.ok()) {
+        return parts.status();
+      }
+      if (parts->size() != 2) {
+        return Status::InvalidArgument("bad reduction axis: " + axis);
+      }
+      sched.reduction.push_back({(*parts)[0], (*parts)[1]});
+    }
+    return Status::Ok();
+  }
+  if (key == "par") {
+    auto v = ParseInt32(value);
+    if (!v.ok()) {
+      return v.status();
+    }
+    sched.parallel_axes = *v;
+    return Status::Ok();
+  }
+  if (key == "rot") {
+    auto v = ParseInt32(value);
+    if (!v.ok()) {
+      return v.status();
+    }
+    sched.inner_order_rotation = *v;
+    return Status::Ok();
+  }
+  if (key == "unroll") {
+    sched.unroll_inner_reduction = value == "1";
+    return Status::Ok();
+  }
+  return Status::Ok();  // unknown keys: ignore
+}
+
+}  // namespace alt::loop

@@ -1,0 +1,46 @@
+// Text encoding of layout primitive sequences and loop schedules.
+//
+// These helpers started life private to the tuning-record reader/writer
+// (src/core/tuning_record.cc); they are shared now because the measurement
+// cache keys candidates by exactly the same strings — a (layout sequence,
+// schedule) pair that serializes identically is by construction the same
+// measurement, so the cache and the on-disk record format can never drift
+// apart.
+//
+// All decoders take untrusted text: they return Status instead of throwing,
+// including on non-numeric or out-of-range integers (see ParseInt64).
+
+#ifndef ALT_LOOP_SERIALIZATION_H_
+#define ALT_LOOP_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/layout/primitive.h"
+#include "src/loop/schedule.h"
+#include "src/support/status.h"
+
+namespace alt::loop {
+
+// "split:1:4,8" / "reorder:0,2,1" / "unfold:2:3:1" ... (one primitive).
+std::string EncodePrimitive(const layout::Primitive& p);
+StatusOr<layout::Primitive> DecodePrimitive(const std::string& text);
+
+// Space-separated primitives; empty string for the canonical layout.
+std::string EncodeLayoutSeq(const layout::LayoutSeq& seq);
+
+// "s=o,m,i,v;... r=o,i;... par=N rot=N unroll=0|1" — the schedule portion of
+// a tuning-record line.
+std::string EncodeSchedule(const LoopSchedule& sched);
+
+// Applies one "key=value" schedule token to `sched`. Unknown keys are
+// ignored (forward compatibility with newer record writers).
+Status DecodeScheduleToken(const std::string& key, const std::string& value,
+                           LoopSchedule& sched);
+
+// Comma-separated int64 list; rejects non-numeric or out-of-range entries.
+StatusOr<std::vector<int64_t>> ParseInts(const std::string& s);
+
+}  // namespace alt::loop
+
+#endif  // ALT_LOOP_SERIALIZATION_H_

@@ -8,6 +8,11 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
                                                const graph::LayoutAssignment& assignment,
                                                const loop::LoweredNetwork& net,
                                                const TensorDataMap& canonical_data) {
+  // An empty lowering is invalid: fail fast, before physicalizing inputs and
+  // executing programs (and before net.groups.back() below would be UB).
+  if (net.groups.empty()) {
+    return Status::InvalidArgument("empty network");
+  }
   BufferStore store;
   // Physicalize graph inputs and constants.
   for (const auto& t : graph.tensors()) {
@@ -68,9 +73,6 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
   }
   for (const auto& program : net.programs) {
     ALT_RETURN_IF_ERROR(Execute(program, store));
-  }
-  if (net.groups.empty()) {
-    return Status::InvalidArgument("empty network");
   }
   int out_id = net.groups.back().OutputTensor(graph);
   const auto& t = graph.tensor(out_id);

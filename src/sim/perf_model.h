@@ -11,6 +11,12 @@
 //   * tile-footprint vs cache-capacity fit per loop level (data reuse),
 //   * SIMD vectorizability of the innermost loop (channels-last layouts),
 //   * GPU coalescing, multi-core scaling, DRAM bandwidth ceilings.
+//
+// Thread-safety: EstimateProgram / EstimatePrograms are pure — all state is
+// local to the call and `machine` is only read — so the measurement engine
+// may invoke them concurrently from its thread pool. Keep it that way: any
+// future memoization or scratch buffers here must be confined per call (or
+// guarded), not stored in globals.
 
 #ifndef ALT_SIM_PERF_MODEL_H_
 #define ALT_SIM_PERF_MODEL_H_

@@ -1,7 +1,10 @@
 #include "src/support/string_util.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "src/support/status.h"
 
@@ -32,6 +35,33 @@ std::string FormatMicros(double us) {
     std::snprintf(buf, sizeof(buf), "%.1f us", us);
   }
   return buf;
+}
+
+StatusOr<int64_t> ParseInt64(const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("empty integer literal");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("not an integer: '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: '" + s + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<int> ParseInt32(const std::string& s) {
+  auto v = ParseInt64(s);
+  if (!v.ok()) {
+    return v.status();
+  }
+  if (*v < std::numeric_limits<int>::min() || *v > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("integer out of range: '" + s + "'");
+  }
+  return static_cast<int>(*v);
 }
 
 std::vector<int64_t> Divisors(int64_t n) {

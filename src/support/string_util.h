@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/status.h"
+
 namespace alt {
 
 // Joins container elements with a separator, using operator<< on elements.
@@ -30,6 +32,12 @@ std::string FormatMicros(double us);
 
 // All positive divisors of n, ascending.
 std::vector<int64_t> Divisors(int64_t n);
+
+// Checked numeric parsing for untrusted text (tuning records, CLI input).
+// Unlike std::stoll these never throw: empty strings, trailing garbage, and
+// out-of-range values all return InvalidArgument.
+StatusOr<int64_t> ParseInt64(const std::string& s);
+StatusOr<int> ParseInt32(const std::string& s);
 
 }  // namespace alt
 

@@ -1,0 +1,108 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+
+namespace alt {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+// Index claims happen under the pool mutex, atomically with the batch-id
+// check, so a worker that wakes up late can never claim (and then drop) an
+// index that belongs to a newer batch. The per-claim lock cost is irrelevant
+// next to the work items (each is a full lowering + estimation).
+bool ThreadPool::ClaimIndex(uint64_t batch, int* index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batch != batch_id_ || next_index_ >= batch_size_) {
+    return false;
+  }
+  *index = next_index_++;
+  return true;
+}
+
+void ThreadPool::FinishIndex() {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    drained = completed_ == batch_size_;
+  }
+  if (drained) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  uint64_t batch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    batch = ++batch_id_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates until the batch's indices are exhausted.
+  int i = 0;
+  while (ClaimIndex(batch, &i)) {
+    fn(i);
+    FinishIndex();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, n] { return completed_ == n; });
+  fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_batch] {
+        return shutdown_ || (fn_ != nullptr && batch_id_ != seen_batch);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_batch = batch_id_;
+      fn = fn_;
+    }
+    int i = 0;
+    while (ClaimIndex(seen_batch, &i)) {
+      (*fn)(i);
+      FinishIndex();
+    }
+  }
+}
+
+}  // namespace alt

@@ -1,0 +1,66 @@
+// Fixed-size worker thread pool used by the parallel measurement engine.
+//
+// The pool is deliberately minimal: it supports exactly the pattern the tuner
+// needs — index-based fan-out with a blocking join (`ParallelFor`) — so that
+// callers can compute results into pre-sized slots and then reduce them in a
+// deterministic order on the calling thread. Work stealing, futures, and task
+// priorities are intentionally out of scope.
+//
+// Thread-safety contract: the closure passed to ParallelFor runs concurrently
+// on pool workers and on the calling thread; it must only write to disjoint
+// state per index (e.g. `results[i]`). ParallelFor itself is NOT reentrant
+// from multiple threads on the same pool.
+
+#ifndef ALT_SUPPORT_THREAD_POOL_H_
+#define ALT_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alt {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the calling thread participates in
+  // ParallelFor, so `num_threads` is the total parallelism). `num_threads`
+  // values below 2 spawn no workers and make ParallelFor run inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total parallelism (workers + caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(i) for every i in [0, n); returns once all n calls completed.
+  // Indices are claimed dynamically, so per-index results must be written to
+  // disjoint slots and reduced by the caller afterwards.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Claims the next index of batch `batch`; false when that batch is drained
+  // (or superseded), which tells the claimant to stop working on it.
+  bool ClaimIndex(uint64_t batch, int* index);
+  void FinishIndex();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: new batch or shutdown
+  std::condition_variable done_cv_;   // signals caller: batch finished
+  const std::function<void(int)>* fn_ = nullptr;  // current batch body
+  int batch_size_ = 0;
+  uint64_t batch_id_ = 0;             // bumped per ParallelFor call
+  int next_index_ = 0;                // next unclaimed index of the batch
+  int completed_ = 0;                 // indices fully executed
+  bool shutdown_ = false;
+};
+
+}  // namespace alt
+
+#endif  // ALT_SUPPORT_THREAD_POOL_H_

@@ -1,0 +1,200 @@
+// Tests for the parallel measurement engine: the determinism guarantee (a
+// fixed seed produces an identical tuning trajectory at any thread count),
+// the memoizing measurement cache, and the cache key.
+
+#include <gtest/gtest.h>
+
+#include "src/autotune/measure.h"
+#include "src/autotune/tuner.h"
+#include "src/core/alt.h"
+#include "src/graph/networks.h"
+#include "src/loop/serialization.h"
+
+namespace alt {
+namespace {
+
+graph::Graph SmallConvGraph() {
+  graph::Graph g("measure_target");
+  int x = g.AddInput("x", {1, 16, 14, 14});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {32, 16, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  g.AddRelu(c, "relu");
+  return g;
+}
+
+// The group anchored at the convolution (groups also include the pad op).
+loop::FusedGroup ComplexGroup(const graph::Graph& g,
+                              const std::vector<loop::FusedGroup>& groups) {
+  for (const auto& grp : groups) {
+    if (graph::IsComplex(g.op(grp.anchor_op).kind)) {
+      return grp;
+    }
+  }
+  return groups.front();
+}
+
+core::AltOptions BaseOptions() {
+  core::AltOptions options;
+  options.budget = 160;
+  options.method = autotune::SearchMethod::kRandom;
+  options.seed = 7;
+  return options;
+}
+
+TEST(MeasureEngine, TrajectoryIsIdenticalAcrossThreadCounts) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  core::AltOptions one = BaseOptions();
+  one.measure_threads = 1;
+  auto r1 = core::Compile(g, machine, one);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  core::AltOptions four = BaseOptions();
+  four.measure_threads = 4;
+  auto r4 = core::Compile(g, machine, four);
+  ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+
+  // Best latency, budget spend, the full tuning curve, and every chosen
+  // schedule must match bit-for-bit.
+  EXPECT_EQ(r1->perf.latency_us, r4->perf.latency_us);
+  EXPECT_EQ(r1->measurements_used, r4->measurements_used);
+  ASSERT_EQ(r1->history_us.size(), r4->history_us.size());
+  for (size_t i = 0; i < r1->history_us.size(); ++i) {
+    ASSERT_EQ(r1->history_us[i], r4->history_us[i]) << "tuning curve diverges at " << i;
+  }
+  ASSERT_EQ(r1->schedules.size(), r4->schedules.size());
+  for (size_t i = 0; i < r1->schedules.size(); ++i) {
+    EXPECT_EQ(loop::EncodeSchedule(r1->schedules[i]), loop::EncodeSchedule(r4->schedules[i]));
+  }
+}
+
+TEST(MeasureEngine, CacheOnMatchesCacheOffResult) {
+  // Memoization changes how budget is spent, never what a candidate measures:
+  // a cached tuning run must report cache hits and stay a valid compilation.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  core::AltOptions cached = BaseOptions();
+  cached.measure_cache = true;
+  auto rc = core::Compile(g, machine, cached);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_GT(rc->measure_stats.cache_hits, 0);
+  EXPECT_EQ(rc->measure_stats.requested,
+            rc->measure_stats.measured + rc->measure_stats.cache_hits +
+                rc->measure_stats.failed);
+
+  core::AltOptions uncached = BaseOptions();
+  uncached.measure_cache = false;
+  auto ru = core::Compile(g, machine, uncached);
+  ASSERT_TRUE(ru.ok());
+  EXPECT_EQ(ru->measure_stats.cache_hits, 0);
+}
+
+TEST(MeasureEngine, RepeatedMeasurementHitsCache) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  graph::LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  ASSERT_FALSE(groups.empty());
+  loop::FusedGroup group = ComplexGroup(g, groups);
+  auto sig = loop::GroupSignature(g, la, group);
+  ASSERT_TRUE(sig.ok());
+  loop::LoopSchedule sched =
+      loop::LoopSchedule::Naive(sig->spatial_extents, sig->reduction_extents);
+
+  autotune::MeasureEngine engine(machine, /*threads=*/1, /*cache_enabled=*/true);
+  auto first = engine.MeasureOne(g, la, group, sched);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+
+  auto second = engine.MeasureOne(g, la, group, sched);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.latency_us, first.latency_us);
+  EXPECT_EQ(engine.stats().measured, 1);
+  EXPECT_EQ(engine.stats().cache_hits, 1);
+  EXPECT_EQ(engine.cache_size(), 1);
+}
+
+TEST(MeasureEngine, DuplicateCandidatesInOneBatchMeasureOnce) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  graph::LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  loop::FusedGroup group = ComplexGroup(g, groups);
+  auto sig = loop::GroupSignature(g, la, group);
+  ASSERT_TRUE(sig.ok());
+  loop::LoopSchedule sched =
+      loop::LoopSchedule::Naive(sig->spatial_extents, sig->reduction_extents);
+
+  autotune::MeasureEngine engine(machine, /*threads=*/2, /*cache_enabled=*/true);
+  auto results = engine.Measure(g, la, group, {sched, sched, sched});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].cache_hit);
+  EXPECT_TRUE(results[1].cache_hit);
+  EXPECT_TRUE(results[2].cache_hit);
+  EXPECT_EQ(results[1].latency_us, results[0].latency_us);
+  EXPECT_EQ(engine.stats().measured, 1);
+  EXPECT_EQ(engine.stats().cache_hits, 2);
+
+  // With the cache disabled every slot is measured (historical behavior).
+  autotune::MeasureEngine raw(machine, /*threads=*/2, /*cache_enabled=*/false);
+  auto raw_results = raw.Measure(g, la, group, {sched, sched});
+  EXPECT_FALSE(raw_results[0].cache_hit);
+  EXPECT_FALSE(raw_results[1].cache_hit);
+  EXPECT_EQ(raw.stats().measured, 2);
+}
+
+TEST(MeasureEngine, ParallelBatchMatchesSequentialBatch) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  graph::LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  loop::FusedGroup group = ComplexGroup(g, groups);
+  auto sig = loop::GroupSignature(g, la, group);
+  ASSERT_TRUE(sig.ok());
+
+  // A spread of schedules from the loop space.
+  auto space = autotune::LoopSpace::ForSignature(*sig, machine, false);
+  Rng rng(13);
+  std::vector<loop::LoopSchedule> scheds;
+  for (int i = 0; i < 12; ++i) {
+    scheds.push_back(space.Decode(autotune::RandomPoint(space.num_knobs(), rng)));
+  }
+
+  autotune::MeasureEngine seq(machine, 1, false);
+  autotune::MeasureEngine par(machine, 4, false);
+  auto rs = seq.Measure(g, la, group, scheds);
+  auto rp = par.Measure(g, la, group, scheds);
+  ASSERT_EQ(rs.size(), rp.size());
+  for (size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs[i].status.ok(), rp[i].status.ok());
+    EXPECT_EQ(rs[i].latency_us, rp[i].latency_us) << "slot " << i;
+  }
+}
+
+TEST(MeasureEngine, CacheKeySeparatesLayoutsAndGroups) {
+  graph::Graph g = SmallConvGraph();
+  auto groups = loop::PartitionGraph(g, graph::LayoutAssignment{}, true);
+  ASSERT_FALSE(groups.empty());
+
+  graph::LayoutAssignment canonical;
+  graph::LayoutAssignment blocked;
+  blocked.Set(g.op(groups[0].anchor_op).output,
+              layout::LayoutSeq().Append(layout::Primitive::Split(1, {2, 16})));
+
+  std::string key_canonical = autotune::GroupCacheKey(g, canonical, groups[0]);
+  std::string key_blocked = autotune::GroupCacheKey(g, blocked, groups[0]);
+  EXPECT_NE(key_canonical, key_blocked);
+  // Deterministic for identical inputs.
+  EXPECT_EQ(key_canonical, autotune::GroupCacheKey(g, canonical, groups[0]));
+}
+
+}  // namespace
+}  // namespace alt

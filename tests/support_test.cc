@@ -1,10 +1,13 @@
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/string_util.h"
+#include "src/support/thread_pool.h"
 
 namespace alt {
 namespace {
@@ -117,6 +120,56 @@ TEST_P(DivisorsProperty, EveryDivisorDivides) {
 
 INSTANTIATE_TEST_SUITE_P(Values, DivisorsProperty,
                          ::testing::Values(2, 12, 16, 97, 128, 210, 1000, 2048));
+
+TEST(StringUtilTest, CheckedIntParsing) {
+  ASSERT_TRUE(ParseInt64("123").ok());
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("12 ").ok());
+  EXPECT_FALSE(ParseInt64("0x10").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());   // INT64_MAX + 1
+  ASSERT_TRUE(ParseInt64("9223372036854775807").ok());
+  EXPECT_FALSE(ParseInt32("4000000000").ok());
+  EXPECT_EQ(*ParseInt32("-17"), -17);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](int i) { counts[i].fetch_add(1); });
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(round % 7, [&](int i) { sum.fetch_add(i + 1); });
+    int n = round % 7;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoops) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int) { ran = true; });
+  pool.ParallelFor(-3, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
 
 }  // namespace
 }  // namespace alt
