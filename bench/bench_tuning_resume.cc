@@ -1,0 +1,141 @@
+// Tuning-journal overhead and resume economics.
+//
+//   ./build/bench/bench_tuning_resume
+//
+// Three questions, answered on the same fixed-seed workload:
+//
+//   1. OVERHEAD — how much wall-clock does journaling every fresh measurement
+//      add to a tuning run? (Target: < 2%. The journal appends one short
+//      CRC-framed line per measurement through a buffered FILE* with a
+//      per-line flush; measurement itself lowers a whole fused group and runs
+//      the analytic cost model, so the journal should be noise.)
+//   2. RESUME SPEED — how fast is re-running the tuner with every measurement
+//      answered from the replay log instead of executed?
+//   3. DETERMINISM — the resumed run must land on the identical tuned
+//      network (latency, budget spend, tuning curve length). Exits non-zero
+//      if it does not; the CI resume test covers this with finer assertions,
+//      the bench guards the full-size workload.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/core/tuning_journal.h"
+#include "src/support/fileio.h"
+
+namespace alt {
+
+namespace {
+
+// Minimum over reps: the run least disturbed by scheduler noise, the usual
+// estimator when comparing two deterministic computations.
+double MinOf(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+core::AltOptions BenchOptions() {
+  core::AltOptions options;
+  options.budget = 300;
+  options.seed = 11;
+  options.method = autotune::SearchMethod::kPpoPretrained;
+  return options;
+}
+
+template <typename Fn>
+double TimeMs(const Fn& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int Main() {
+  bench::PrintHeader("Tuning journal: overhead of journaling and speed of resume");
+
+  graph::Graph g = graph::BuildResNetFirstLayer(1);
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BenchOptions();
+  const std::string path = "/tmp/alt_bench_tuning_resume.altj";
+  std::printf("workload: %s on %s, budget %d\n\n", g.name().c_str(), machine.name.c_str(),
+              options.budget);
+
+  const int kReps = 5;
+  std::vector<double> plain_ms, journal_ms, resume_ms;
+  StatusOr<autotune::CompiledNetwork> plain = Status::Ok();
+  StatusOr<autotune::CompiledNetwork> journaled = Status::Ok();
+  StatusOr<autotune::CompiledNetwork> resumed = Status::Ok();
+  for (int rep = 0; rep < kReps; ++rep) {
+    plain_ms.push_back(TimeMs([&] { plain = core::Compile(g, machine, options); }));
+    RemoveFile(path);
+    journal_ms.push_back(
+        TimeMs([&] { journaled = core::CompileWithJournal(g, machine, options, path); }));
+    // The journal is now complete: a resume replays everything and measures
+    // nothing new.
+    resume_ms.push_back(
+        TimeMs([&] { resumed = core::ResumeFromJournal(g, machine, options, path); }));
+  }
+  if (!plain.ok() || !journaled.ok() || !resumed.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 (!plain.ok()    ? plain.status()
+                  : !journaled.ok() ? journaled.status()
+                                    : resumed.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  const double plain_med = MinOf(plain_ms);
+  const double journal_med = MinOf(journal_ms);
+  const double resume_med = MinOf(resume_ms);
+  const double overhead_pct = (journal_med / plain_med - 1.0) * 100.0;
+
+  std::printf("%-22s %10s %12s %10s %10s\n", "mode", "wall_ms", "tuned_us", "measured",
+              "replayed");
+  std::printf("%-22s %10.1f %12.1f %10lld %10lld\n", "plain", plain_med,
+              plain->perf.latency_us, static_cast<long long>(plain->measure_stats.measured),
+              static_cast<long long>(plain->measure_stats.replayed));
+  std::printf("%-22s %10.1f %12.1f %10lld %10lld\n", "journaled", journal_med,
+              journaled->perf.latency_us,
+              static_cast<long long>(journaled->measure_stats.measured),
+              static_cast<long long>(journaled->measure_stats.replayed));
+  std::printf("%-22s %10.1f %12.1f %10lld %10lld\n", "resume (full replay)", resume_med,
+              resumed->perf.latency_us,
+              static_cast<long long>(resumed->measure_stats.measured),
+              static_cast<long long>(resumed->measure_stats.replayed));
+  std::printf("\njournal overhead: %+.2f%% (min of %d)   resume speedup: %.2fx\n",
+              overhead_pct, kReps, resume_med > 0 ? plain_med / resume_med : 0.0);
+
+  // Determinism: all three runs are the same trajectory.
+  bool same = plain->perf.latency_us == journaled->perf.latency_us &&
+              plain->perf.latency_us == resumed->perf.latency_us &&
+              plain->measurements_used == journaled->measurements_used &&
+              plain->measurements_used == resumed->measurements_used &&
+              plain->history_us.size() == resumed->history_us.size();
+  if (!same) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: plain %.3f us/%d, journaled %.3f us/%d, "
+                 "resumed %.3f us/%d\n",
+                 plain->perf.latency_us, plain->measurements_used, journaled->perf.latency_us,
+                 journaled->measurements_used, resumed->perf.latency_us,
+                 resumed->measurements_used);
+    return 1;
+  }
+  if (resumed->measure_stats.measured != 0) {
+    std::fprintf(stderr, "resume re-measured %lld candidates; expected full replay\n",
+                 static_cast<long long>(resumed->measure_stats.measured));
+    return 1;
+  }
+  std::printf("determinism: plain == journaled == resumed (%.1f us, %d measurements)\n",
+              plain->perf.latency_us, plain->measurements_used);
+  if (overhead_pct >= 2.0) {
+    std::printf("WARNING: journal overhead above the 2%% target\n");
+  }
+  RemoveFile(path);
+  return 0;
+}
+
+}  // namespace alt
+
+int main() { return alt::Main(); }

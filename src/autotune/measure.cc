@@ -1,11 +1,14 @@
 #include "src/autotune/measure.h"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
 #include <sstream>
 #include <thread>
 
 #include "src/ir/tensor.h"
 #include "src/loop/serialization.h"
+#include "src/support/crc32.h"
 
 namespace alt::autotune {
 
@@ -46,6 +49,17 @@ void AppendOpKey(const graph::Graph& g, const graph::LayoutAssignment& la, int o
       << loop::EncodeLayoutSeq(la.Get(op.output));
 }
 
+int BackoffMs(const RetryPolicy& retry, int retry_number) {
+  if (retry.backoff_base_ms <= 0) {
+    return 0;
+  }
+  int64_t delay = static_cast<int64_t>(retry.backoff_base_ms);
+  for (int i = 1; i < retry_number && delay < retry.backoff_cap_ms; ++i) {
+    delay <<= 1;
+  }
+  return static_cast<int>(std::min<int64_t>(delay, retry.backoff_cap_ms));
+}
+
 }  // namespace
 
 std::string GroupCacheKey(const graph::Graph& graph,
@@ -60,12 +74,33 @@ std::string GroupCacheKey(const graph::Graph& graph,
   return oss.str();
 }
 
+MeasureEngine::MeasureEngine(const sim::Machine& machine, MeasureEngineConfig config)
+    : machine_(machine),
+      config_(std::move(config)),
+      injector_(config_.faults),
+      pool_(ResolveThreads(config_.threads)) {}
+
 MeasureEngine::MeasureEngine(const sim::Machine& machine, int threads, bool cache_enabled)
-    : machine_(machine), cache_enabled_(cache_enabled), pool_(ResolveThreads(threads)) {}
+    : MeasureEngine(machine, [&] {
+        MeasureEngineConfig c;
+        c.threads = threads;
+        c.cache_enabled = cache_enabled;
+        return c;
+      }()) {}
 
 int64_t MeasureEngine::cache_size() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return static_cast<int64_t>(cache_.size());
+}
+
+int64_t MeasureEngine::quarantine_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return static_cast<int64_t>(quarantine_.size());
+}
+
+bool MeasureEngine::keyed() const {
+  return config_.cache_enabled || config_.replay != nullptr ||
+         static_cast<bool>(config_.on_measured) || injector_.enabled();
 }
 
 std::vector<MeasureResult> MeasureEngine::Measure(
@@ -76,29 +111,62 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   std::vector<MeasureResult> results(n);
   stats_.requested += n;
 
-  // Resolve cache hits (and intra-batch duplicates) up front so only genuine
-  // misses reach the pool. `measure_slot[i]` marks slots that need work;
-  // `alias_of[i]` points a duplicate at the slot that measures its key.
+  // Resolve cache hits, quarantined keys, replayed measurements, and
+  // intra-batch duplicates up front so only genuine misses reach the pool.
+  // `measure_slot[i]` marks slots that need work; `alias_of[i]` points a
+  // duplicate at the slot that measures its key.
   std::vector<std::string> keys(n);
+  std::vector<uint64_t> sites(n, 0);
   std::vector<bool> measure_slot(n, true);
   std::vector<int> alias_of(n, -1);
-  if (cache_enabled_) {
+  if (keyed()) {
     const std::string group_key = GroupCacheKey(graph, assignment, group);
     std::unordered_map<std::string, int> first_slot;
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (int i = 0; i < n; ++i) {
       keys[i] = group_key + "#" + loop::EncodeSchedule(schedules[i]);
-      auto cached = cache_.find(keys[i]);
-      if (cached != cache_.end()) {
-        results[i].latency_us = cached->second;
-        results[i].cache_hit = true;
+      sites[i] = Fnv1a64(keys[i]);
+      if (config_.cache_enabled) {
+        auto cached = cache_.find(keys[i]);
+        if (cached != cache_.end()) {
+          results[i].latency_us = cached->second;
+          results[i].cache_hit = true;
+          measure_slot[i] = false;
+          continue;
+        }
+      }
+      if (quarantine_.count(keys[i]) > 0) {
+        results[i].status = Status::Unavailable("candidate quarantined");
         measure_slot[i] = false;
         continue;
       }
-      auto [it, inserted] = first_slot.try_emplace(keys[i], i);
-      if (!inserted) {
-        alias_of[i] = it->second;
-        measure_slot[i] = false;
+      if (config_.replay != nullptr) {
+        auto replayed = config_.replay->ok.find(sites[i]);
+        if (replayed != config_.replay->ok.end()) {
+          results[i].latency_us = replayed->second;
+          results[i].replayed = true;
+          measure_slot[i] = false;
+          // Cache the replayed latency so later occurrences of this key hit
+          // the cache exactly as they did in the run that wrote the journal.
+          if (config_.cache_enabled) {
+            cache_.emplace(keys[i], replayed->second);
+          }
+          continue;
+        }
+        if (config_.replay->failed.count(sites[i]) > 0) {
+          results[i].status = Status::Unavailable("replayed measurement failure");
+          results[i].replayed = true;
+          measure_slot[i] = false;
+          quarantine_.insert(keys[i]);
+          continue;
+        }
+      }
+      if (config_.cache_enabled) {
+        auto [it, inserted] = first_slot.try_emplace(keys[i], i);
+        if (!inserted) {
+          alias_of[i] = it->second;
+          measure_slot[i] = false;
+        }
       }
     }
   }
@@ -110,33 +178,88 @@ std::vector<MeasureResult> MeasureEngine::Measure(
     }
   }
 
-  // Lower + estimate the misses concurrently. Each task writes only its own
-  // slot; LowerGroup/EstimateProgram are pure, so this is deterministic.
-  pool_.ParallelFor(static_cast<int>(work.size()), [&](int w) {
+  // Lower + estimate the misses concurrently, retrying transient (injected)
+  // failures with capped backoff. Each task writes only its own slots —
+  // result, retry/backoff tallies — so the reduction below is deterministic.
+  // LowerGroup/EstimateProgram are pure; a deterministic failure (bad
+  // schedule, lowering error) is never retried.
+  const int w_count = static_cast<int>(work.size());
+  std::vector<int> slot_retries(w_count, 0);
+  std::vector<int> slot_injected(w_count, 0);
+  std::vector<double> slot_backoff(w_count, 0.0);
+  std::vector<char> slot_done(w_count, 0);
+  const int max_attempts = std::max(1, config_.retry.max_attempts);
+  Status pool_status = pool_.ParallelFor(w_count, [&](int w) {
     int i = work[w];
-    auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
-    if (!program.ok()) {
-      results[i].status = program.status();
-      return;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++slot_retries[w];
+        int delay = BackoffMs(config_.retry, attempt);
+        slot_backoff[w] += delay;
+        if (delay > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+      }
+      ++results[i].attempts;
+      if (injector_.enabled() && injector_.ShouldFail(sites[i], attempt)) {
+        ++slot_injected[w];
+        results[i].status = Status::Unavailable("injected transient measurement fault");
+        continue;  // transient: retry
+      }
+      try {
+        auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
+        if (!program.ok()) {
+          results[i].status = program.status();  // deterministic: no retry
+          break;
+        }
+        results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+        results[i].status = Status::Ok();
+        break;
+      } catch (const std::exception& e) {
+        results[i].status = Status::Internal(std::string("measurement threw: ") + e.what());
+        break;
+      }
     }
-    results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+    slot_done[w] = 1;
   });
 
-  for (int i : work) {
+  // Reduce in deterministic slot order on the calling thread.
+  for (int w = 0; w < w_count; ++w) {
+    int i = work[w];
+    if (!slot_done[w] && results[i].status.ok()) {
+      // A pool-level fault (task exception escaping the engine's own
+      // try/catch) must not masquerade as a successful measurement.
+      results[i].status = pool_status.ok() ? Status::Internal("measurement never ran")
+                                           : pool_status;
+    }
+    stats_.retries += slot_retries[w];
+    stats_.injected_failures += slot_injected[w];
+    stats_.backoff_ms += slot_backoff[w];
     if (results[i].status.ok()) {
       ++stats_.measured;
-      if (cache_enabled_) {
+      if (config_.cache_enabled) {
         std::lock_guard<std::mutex> lock(cache_mu_);
         cache_.emplace(keys[i], results[i].latency_us);
       }
     } else {
       ++stats_.failed;
+      if (keyed()) {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        if (quarantine_.insert(keys[i]).second) {
+          ++stats_.quarantined;
+        }
+      }
+    }
+    if (config_.on_measured) {
+      config_.on_measured(keys[i], results[i]);
     }
   }
   for (int i = 0; i < n; ++i) {
     if (alias_of[i] >= 0) {
       results[i] = results[alias_of[i]];
       // The first occurrence paid the measurement; this one is free.
+      results[i].attempts = 0;
+      results[i].replayed = false;
       if (results[i].status.ok()) {
         results[i].cache_hit = true;
         ++stats_.cache_hits;
@@ -145,6 +268,10 @@ std::vector<MeasureResult> MeasureEngine::Measure(
       }
     } else if (results[i].cache_hit) {
       ++stats_.cache_hits;
+    } else if (results[i].replayed) {
+      ++stats_.replayed;
+    } else if (!measure_slot[i] && !results[i].status.ok()) {
+      ++stats_.failed;  // quarantine short-circuit
     }
   }
 

@@ -1,11 +1,12 @@
-// Parallel measurement engine with a memoizing measurement cache.
+// Parallel measurement engine with a memoizing measurement cache, fault
+// injection, retry/quarantine, and journal replay.
 //
 // "Measurement" in this code base is lowering a fused group under a schedule
 // (loop::LowerGroup) and running the analytic performance model over the
 // result (sim::EstimateProgram). Both are pure functions of their inputs —
 // they share no mutable state beyond an atomic variable-id counter — so a
 // batch of candidates can be evaluated concurrently and still produce
-// bit-identical results. The engine exploits that in two ways:
+// bit-identical results. The engine exploits that in several ways:
 //
 //   * PARALLELISM — the cost-model top-k candidates of a tuning batch are
 //     lowered and estimated on a fixed-size thread pool. Results are written
@@ -17,40 +18,105 @@
 //     layout sequences of every tensor the group touches, and the serialized
 //     schedule. A candidate revisited across rounds, layout proposals, or the
 //     loop-only stage is returned from the cache and costs zero budget.
+//   * FAULT TOLERANCE — an optional FaultInjector simulates transient
+//     measurement failures; failed attempts are retried with capped
+//     exponential backoff, and candidates that fail persistently (transient
+//     retries exhausted, or a deterministic lowering error) are quarantined:
+//     their failure is remembered and later requests short-circuit without
+//     re-measuring. Failures are never cached as latencies and never abort a
+//     batch — the tuner sees a non-ok MeasureResult and moves on.
+//   * REPLAY — a MeasureReplayLog (reconstructed from a tuning journal)
+//     answers already-performed measurements without re-executing them.
+//     Replayed results report cache_hit == false so a resumed tuning run
+//     spends budget exactly as the original did, and successful replays are
+//     inserted into the cache so later duplicates hit it exactly as in the
+//     original run. This is what makes journal resume deterministic.
 //
-// The cache is thread-safe; lookups and inserts happen on the reducing
-// thread, misses are measured on the pool.
+// The cache and quarantine set are thread-safe; lookups and inserts happen on
+// the reducing thread, misses are measured on the pool.
 
 #ifndef ALT_AUTOTUNE_MEASURE_H_
 #define ALT_AUTOTUNE_MEASURE_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/graph/layout_assignment.h"
 #include "src/loop/lowering.h"
 #include "src/sim/perf_model.h"
+#include "src/support/fault_injection.h"
 #include "src/support/thread_pool.h"
 
 namespace alt::autotune {
 
 // Per-run counters, surfaced on CompiledNetwork and logged at the end of a
-// tuning run so cache effectiveness and parallel speedup are observable.
+// tuning run so cache effectiveness, parallel speedup, and fault recovery are
+// observable. Invariant: requested == measured + cache_hits + failed +
+// replayed (the four buckets are disjoint).
 struct MeasureStats {
   int64_t requested = 0;   // candidates submitted to the engine
-  int64_t measured = 0;    // actual lower+estimate executions
+  int64_t measured = 0;    // actual lower+estimate executions that succeeded
   int64_t cache_hits = 0;  // candidates answered from the cache
-  int64_t failed = 0;      // candidates whose lowering failed
-  double wall_ms = 0.0;    // wall-clock spent inside Measure() calls
+  int64_t failed = 0;      // fresh failures (lowering errors, retries exhausted,
+                           // quarantine short-circuits)
+  int64_t replayed = 0;    // candidates answered from a replay log (ok or fail)
+  int64_t retries = 0;     // extra attempts after a transient failure
+  int64_t quarantined = 0; // distinct keys placed in quarantine
+  int64_t injected_failures = 0;  // attempts failed by the FaultInjector
+  double backoff_ms = 0.0;        // total retry backoff requested
+  double wall_ms = 0.0;           // wall-clock spent inside Measure() calls
 };
 
 struct MeasureResult {
   Status status = Status::Ok();
   double latency_us = 1e30;
   bool cache_hit = false;
+  // Answered from a replay log; reported with cache_hit == false so the
+  // caller's budget accounting matches the run that produced the log.
+  bool replayed = false;
+  // Lower+estimate attempts spent on this result (1 for a clean first try;
+  // 0 for cache/replay/quarantine answers).
+  int attempts = 0;
+};
+
+// Retry policy for transient measurement failures. Backoff for attempt k
+// (1-based retry count) is min(backoff_base_ms << (k-1), backoff_cap_ms);
+// a base of 0 disables sleeping entirely, which keeps tests fast and makes
+// the injected-fault trajectory timing-independent.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int backoff_base_ms = 0;
+  int backoff_cap_ms = 100;
+};
+
+// Measurements recovered from a tuning journal, keyed by Fnv1a64 of the full
+// measurement cache key. Split by outcome: `ok` maps to the recorded latency,
+// `failed` records keys whose measurement failed persistently.
+struct MeasureReplayLog {
+  std::unordered_map<uint64_t, double> ok;
+  std::unordered_set<uint64_t> failed;
+
+  bool empty() const { return ok.empty() && failed.empty(); }
+  int64_t size() const { return static_cast<int64_t>(ok.size() + failed.size()); }
+};
+
+struct MeasureEngineConfig {
+  int threads = 0;            // <= 0: one per hardware core
+  bool cache_enabled = true;  // memoization (parallelism works either way)
+  FaultInjector::Options faults;
+  RetryPolicy retry;
+  // Not owned; must outlive the engine when set.
+  const MeasureReplayLog* replay = nullptr;
+  // Invoked on the reducing thread, in deterministic slot order, once per
+  // FRESH measurement outcome (success or persistent failure) — never for
+  // cache hits, replays, or quarantine short-circuits. The journal writer
+  // hangs off this hook.
+  std::function<void(const std::string& key, const MeasureResult& result)> on_measured;
 };
 
 // Structural cache-key prefix for one fused group under an assignment:
@@ -63,8 +129,9 @@ std::string GroupCacheKey(const graph::Graph& graph,
 
 class MeasureEngine {
  public:
-  // `threads` <= 0 means one thread per hardware core. `cache_enabled`
-  // toggles memoization (parallelism works either way).
+  explicit MeasureEngine(const sim::Machine& machine, MeasureEngineConfig config = {});
+
+  // Legacy convenience constructor (threads <= 0 means one per core).
   MeasureEngine(const sim::Machine& machine, int threads, bool cache_enabled);
 
   // Lowers and estimates every schedule for `group`; result i corresponds to
@@ -83,16 +150,24 @@ class MeasureEngine {
 
   const MeasureStats& stats() const { return stats_; }
   int threads() const { return pool_.size(); }
-  bool cache_enabled() const { return cache_enabled_; }
+  bool cache_enabled() const { return config_.cache_enabled; }
   int64_t cache_size() const;
+  int64_t quarantine_size() const;
 
  private:
+  // True when per-candidate keys must be computed (cache, replay, journal
+  // hook, or fault injection active). Without any of these the engine skips
+  // key construction entirely, as the original implementation did.
+  bool keyed() const;
+
   const sim::Machine& machine_;
-  const bool cache_enabled_;
+  MeasureEngineConfig config_;
+  FaultInjector injector_;
   ThreadPool pool_;
 
   mutable std::mutex cache_mu_;
-  std::unordered_map<std::string, double> cache_;  // key -> latency_us
+  std::unordered_map<std::string, double> cache_;  // key -> latency_us (ok only)
+  std::unordered_set<std::string> quarantine_;     // keys that fail persistently
 
   MeasureStats stats_;
 };

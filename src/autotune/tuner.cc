@@ -17,11 +17,31 @@ using graph::OpKind;
 using loop::FusedGroup;
 using loop::LoopSchedule;
 
+namespace {
+
+MeasureEngineConfig EngineConfig(const TuningOptions& options) {
+  MeasureEngineConfig c;
+  c.threads = options.measure_threads;
+  c.cache_enabled = options.measure_cache;
+  c.faults = options.fault_injection;
+  c.retry = options.measure_retry;
+  c.replay = options.measure_replay;
+  if (options.event_sink != nullptr) {
+    TuningEventSink* sink = options.event_sink;
+    c.on_measured = [sink](const std::string& key, const MeasureResult& result) {
+      sink->OnMeasured(key, result);
+    };
+  }
+  return c;
+}
+
+}  // namespace
+
 JointTuner::JointTuner(const Graph& graph, const sim::Machine& machine, TuningOptions options)
     : graph_(graph),
       machine_(machine),
       options_(options),
-      engine_(machine, options.measure_threads, options.measure_cache),
+      engine_(machine, EngineConfig(options)),
       rng_(options.seed) {
   if (options_.tune_layout && options_.method != SearchMethod::kRandom) {
     PpoOptions ppo;
@@ -145,6 +165,9 @@ void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
   }
   if (options_.use_cost_model && train_x_.size() >= 24 && train_x_.size() % 24 == 0) {
     cost_model_.Fit(train_x_, train_y_);
+  }
+  if (options_.event_sink != nullptr) {
+    options_.event_sink->OnBatchDone(measurements_, best_total_us_);
   }
 }
 
@@ -429,6 +452,12 @@ void JointTuner::CommitLayouts(int op_id, const DecodedLayouts& layouts) {
   assignment_.Set(out_id, layouts.output);
   graph::PropagateOutputLayout(graph_, assignment_, out_id, options_.propagate_multi_hop,
                                /*overwrite=*/true);
+  if (options_.event_sink != nullptr) {
+    auto sched_it = joint_best_schedules_.find(op_id);
+    options_.event_sink->OnLayoutCommitted(
+        op_id, layouts,
+        sched_it == joint_best_schedules_.end() ? nullptr : &sched_it->second);
+  }
 }
 
 StatusOr<CompiledNetwork> JointTuner::Tune() {
@@ -623,9 +652,10 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   result.measure_stats = engine_.stats();
   const MeasureStats& ms = result.measure_stats;
   ALT_LOG(Info) << "measure engine: " << ms.requested << " candidates, " << ms.measured
-                << " measured, " << ms.cache_hits << " cache hits, " << ms.failed
-                << " failed lowerings, wall " << FormatMicros(ms.wall_ms * 1e3) << " ("
-                << engine_.threads() << " thread(s), cache "
+                << " measured, " << ms.cache_hits << " cache hits, " << ms.replayed
+                << " replayed, " << ms.failed << " failed, " << ms.retries << " retries, "
+                << ms.quarantined << " quarantined, wall " << FormatMicros(ms.wall_ms * 1e3)
+                << " (" << engine_.threads() << " thread(s), cache "
                 << (engine_.cache_enabled() ? "on" : "off") << ")";
   return result;
 }

@@ -35,6 +35,26 @@ namespace alt::autotune {
 
 enum class SearchMethod { kPpoPretrained, kPpo, kRandom };
 
+// Observer of tuning progress, called synchronously on the tuning thread in
+// deterministic order. The crash-safe journal writer (core/tuning_journal)
+// implements this; the interface lives here so autotune does not depend on
+// core. Implementations must not throw; a sink that fails internally (e.g.
+// disk full) should record its own error and ignore subsequent events.
+class TuningEventSink {
+ public:
+  virtual ~TuningEventSink() = default;
+  // One fresh measurement outcome (success or persistent failure). Never
+  // invoked for cache hits or replayed measurements.
+  virtual void OnMeasured(const std::string& key, const MeasureResult& result) = 0;
+  // The joint stage committed `layouts` to op `op_id`. `best_schedule` is the
+  // best loop schedule found while assessing the winning layout (may be null).
+  virtual void OnLayoutCommitted(int op_id, const DecodedLayouts& layouts,
+                                 const loop::LoopSchedule* best_schedule) = 0;
+  // A loop-tuning batch finished: `spent` measurements consumed so far,
+  // `best_us` best complex-group latency so far.
+  virtual void OnBatchDone(int spent, double best_us) = 0;
+};
+
 // How a complex op's tuned input layout is satisfied when its producer is
 // another complex op (paper §7.3.2, Fig. 12):
 //   * kIndependent (ALT) — both ops keep their own layouts; a conversion
@@ -77,6 +97,17 @@ struct TuningOptions {
   // revisited candidates cost zero budget.
   int measure_threads = 1;
   bool measure_cache = true;
+
+  // Fault tolerance (see measure.h). `fault_injection` simulates transient
+  // measurement failures; `measure_retry` bounds the retries that absorb
+  // them. `measure_replay` answers journaled measurements without re-running
+  // them (journal resume), and `event_sink` observes fresh measurements,
+  // layout commits, and batch completions (journal writing). Both pointers
+  // are borrowed and must outlive the tuner.
+  FaultInjector::Options fault_injection;
+  RetryPolicy measure_retry;
+  const MeasureReplayLog* measure_replay = nullptr;
+  TuningEventSink* event_sink = nullptr;
 
   uint64_t seed = 1;
   const std::vector<double>* pretrained_agent = nullptr;  // PPO snapshot

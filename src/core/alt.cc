@@ -28,9 +28,8 @@ const std::vector<double>& SharedPretrainedAgent(const sim::Machine& machine) {
   return it->second;
 }
 
-StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
-                                            const sim::Machine& machine,
-                                            const AltOptions& options) {
+autotune::TuningOptions ToTuningOptions(const AltOptions& options,
+                                        const sim::Machine& machine) {
   autotune::TuningOptions tuning;
   tuning.total_budget = options.budget;
   tuning.joint_fraction = options.joint_fraction;
@@ -39,6 +38,8 @@ StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
   tuning.seed = options.seed;
   tuning.measure_threads = options.measure_threads;
   tuning.measure_cache = options.measure_cache;
+  tuning.fault_injection = options.fault_injection;
+  tuning.measure_retry = options.measure_retry;
   switch (options.variant) {
     case AltVariant::kFull:
       break;
@@ -53,7 +54,13 @@ StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
   if (tuning.tune_layout && options.method == autotune::SearchMethod::kPpoPretrained) {
     tuning.pretrained_agent = &SharedPretrainedAgent(machine);
   }
-  autotune::JointTuner tuner(graph, machine, tuning);
+  return tuning;
+}
+
+StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
+                                            const sim::Machine& machine,
+                                            const AltOptions& options) {
+  autotune::JointTuner tuner(graph, machine, ToTuningOptions(options, machine));
   return tuner.Tune();
 }
 

@@ -34,7 +34,17 @@ struct AltOptions {
   // estimation threads (<= 0: one per core) and measurement memoization.
   int measure_threads = 1;
   bool measure_cache = true;
+  // Fault-tolerance knobs (see autotune/measure.h): simulated transient
+  // measurement failures and the retry policy that absorbs them.
+  FaultInjector::Options fault_injection;
+  autotune::RetryPolicy measure_retry;
 };
+
+// Maps the facade options onto the tuner's options (variant selection, shared
+// pretrained agent, fault knobs). Exposed so journal-aware entry points can
+// derive the exact options a plain Compile would use.
+autotune::TuningOptions ToTuningOptions(const AltOptions& options,
+                                        const sim::Machine& machine);
 
 StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
                                             const sim::Machine& machine,

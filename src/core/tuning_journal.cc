@@ -1,0 +1,318 @@
+#include "src/core/tuning_journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string_view>
+
+#include "src/ir/tensor.h"
+#include "src/loop/serialization.h"
+#include "src/support/crc32.h"
+#include "src/support/logging.h"
+
+namespace alt::core {
+
+namespace {
+
+std::string Frame(const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x ", Crc32(payload));
+  return crc + payload;
+}
+
+// Splits "<crc32-hex-8> <payload>" and verifies the checksum.
+bool Unframe(std::string_view line, std::string* payload) {
+  if (line.size() < 10 || line[8] != ' ') {
+    return false;
+  }
+  uint32_t crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    char c = line[i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else {
+      return false;
+    }
+    crc = (crc << 4) | digit;
+  }
+  *payload = std::string(line.substr(9));
+  return Crc32(*payload) == crc;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips bit-exactly
+  return buf;
+}
+
+std::string FormatU64Hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+// Parses a 16-digit hex field starting at `s`; advances `s` past it.
+bool ParseU64Hex(const char** s, uint64_t* out) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(*s, &end, 16);
+  if (end != *s + 16) {
+    return false;
+  }
+  *s = end;
+  *out = v;
+  return true;
+}
+
+bool ConsumePrefix(const char** s, const char* prefix) {
+  size_t len = std::strlen(prefix);
+  if (std::strncmp(*s, prefix, len) != 0) {
+    return false;
+  }
+  *s += len;
+  return true;
+}
+
+// Applies one verified payload to `out`. Returns false when the line is
+// structurally broken in a way CRC cannot catch (it can't — the CRC covers
+// the payload — so false here means an incompatible header, which ends the
+// valid prefix just like corruption would).
+bool ApplyPayload(const std::string& payload, bool first, TuningJournalContents* out) {
+  const char* s = payload.c_str();
+  if (first) {
+    if (!ConsumePrefix(&s, "journal v1 fp=") || !ParseU64Hex(&s, &out->fingerprint)) {
+      return false;  // missing or unsupported header: nothing is trustworthy
+    }
+    out->has_header = true;
+    return true;
+  }
+  if (ConsumePrefix(&s, "measure ")) {
+    uint64_t site = 0;
+    if (!ParseU64Hex(&s, &site)) {
+      return false;
+    }
+    if (ConsumePrefix(&s, " ok ")) {
+      char* end = nullptr;
+      double latency = std::strtod(s, &end);
+      if (end == s) {
+        return false;
+      }
+      out->replay.ok[site] = latency;
+    } else if (ConsumePrefix(&s, " fail")) {
+      out->replay.failed.insert(site);
+    } else {
+      return false;
+    }
+    ++out->measure_lines;
+    return true;
+  }
+  if (ConsumePrefix(&s, "commit ")) {
+    ++out->commit_lines;  // informational; replay does not need the fields
+    return true;
+  }
+  if (ConsumePrefix(&s, "batch spent=")) {
+    char* end = nullptr;
+    long spent = std::strtol(s, &end, 10);
+    if (end == s || !ConsumePrefix(const_cast<const char**>(&end), " best=")) {
+      return false;
+    }
+    s = end;
+    double best = std::strtod(s, &end);
+    if (end == s) {
+      return false;
+    }
+    out->last_spent = static_cast<int>(spent);
+    out->last_best_us = best;
+    ++out->batch_lines;
+    return true;
+  }
+  return true;  // unknown record kind written by a newer version: skip
+}
+
+}  // namespace
+
+uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machine,
+                           const AltOptions& options) {
+  std::ostringstream oss;
+  oss << "net=" << graph.name() << ";machine=" << machine.name << ";ops=";
+  for (const auto& op : graph.ops()) {
+    oss << static_cast<int>(op.kind) << ":";
+    for (int in : op.inputs) {
+      oss << in << ",";
+    }
+    oss << ">" << op.output << ";";
+  }
+  oss << "tensors=";
+  for (const auto& t : graph.tensors()) {
+    oss << ir::ShapeToString(t.shape) << ";";
+  }
+  // Every trajectory-affecting option. measure_threads is intentionally
+  // absent (see header); wall-clock-only knobs like backoff_base_ms are
+  // included anyway for simplicity — changing them mid-run is unusual enough
+  // that refusing to resume is the safer default.
+  oss << "budget=" << options.budget << ";jf=" << FormatDouble(options.joint_fraction)
+      << ";variant=" << static_cast<int>(options.variant)
+      << ";method=" << static_cast<int>(options.method)
+      << ";two_level=" << (options.two_level_templates ? 1 : 0)
+      << ";seed=" << options.seed << ";cache=" << (options.measure_cache ? 1 : 0)
+      << ";frate=" << FormatDouble(options.fault_injection.failure_rate)
+      << ";fseed=" << options.fault_injection.seed
+      << ";ffirst=" << options.fault_injection.always_fail_first
+      << ";retries=" << options.measure_retry.max_attempts
+      << ";backoff=" << options.measure_retry.backoff_base_ms << ","
+      << options.measure_retry.backoff_cap_ms;
+  return Fnv1a64(oss.str());
+}
+
+StatusOr<TuningJournalContents> LoadTuningJournal(const std::string& path) {
+  auto data_or = ReadFile(path);
+  if (!data_or.ok()) {
+    return data_or.status();
+  }
+  const std::string& data = *data_or;
+  TuningJournalContents out;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      break;  // torn final line (no terminator): part of the discarded tail
+    }
+    std::string payload;
+    if (!Unframe(std::string_view(data).substr(pos, nl - pos), &payload) ||
+        !ApplyPayload(payload, first, &out)) {
+      break;  // first bad line ends the valid prefix
+    }
+    first = false;
+    pos = nl + 1;
+    out.valid_bytes = static_cast<int64_t>(pos);
+  }
+  out.discarded_bytes = static_cast<int64_t>(data.size()) - out.valid_bytes;
+  return out;
+}
+
+StatusOr<TuningJournalWriter> TuningJournalWriter::Open(const std::string& path,
+                                                        uint64_t fingerprint,
+                                                        bool write_header) {
+  auto file = AppendWriter::Open(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  TuningJournalWriter writer;
+  writer.writer_ = std::move(*file);
+  if (write_header) {
+    writer.Append("journal v1 fp=" + FormatU64Hex(fingerprint));
+    if (!writer.status_.ok()) {
+      return writer.status_;
+    }
+  }
+  return writer;
+}
+
+void TuningJournalWriter::Append(const std::string& payload) {
+  if (!status_.ok()) {
+    return;  // sticky failure: journal is dead, tuning proceeds unjournaled
+  }
+  status_ = writer_.AppendLine(Frame(payload));
+}
+
+void TuningJournalWriter::OnMeasured(const std::string& key,
+                                     const autotune::MeasureResult& result) {
+  std::string payload = "measure " + FormatU64Hex(Fnv1a64(key));
+  if (result.status.ok()) {
+    payload += " ok " + FormatDouble(result.latency_us);
+  } else {
+    payload += " fail";
+  }
+  Append(payload);
+}
+
+void TuningJournalWriter::OnLayoutCommitted(int op_id,
+                                            const autotune::DecodedLayouts& layouts,
+                                            const loop::LoopSchedule* best_schedule) {
+  std::ostringstream oss;
+  oss << "commit " << op_id << "|" << loop::EncodeLayoutSeq(layouts.output) << "|"
+      << loop::EncodeLayoutSeq(layouts.input) << "|" << loop::EncodeLayoutSeq(layouts.weight)
+      << "|" << (best_schedule != nullptr ? loop::EncodeSchedule(*best_schedule) : "-");
+  Append(oss.str());
+}
+
+void TuningJournalWriter::OnBatchDone(int spent, double best_us) {
+  Append("batch spent=" + std::to_string(spent) + " best=" + FormatDouble(best_us));
+}
+
+StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
+                                                       const sim::Machine& machine,
+                                                       const AltOptions& options,
+                                                       const std::string& journal_path) {
+  const uint64_t fingerprint = TuningFingerprint(graph, machine, options);
+  TuningJournalContents contents;
+  if (FileExists(journal_path)) {
+    auto loaded = LoadTuningJournal(journal_path);
+    if (!loaded.ok()) {
+      return loaded.status();
+    }
+    contents = std::move(*loaded);
+    if (contents.has_header && contents.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "tuning journal " + journal_path +
+          " was written for a different (graph, machine, options) configuration; "
+          "refusing to resume from it");
+    }
+    if (contents.discarded_bytes > 0) {
+      ALT_LOG(Warning) << "tuning journal " << journal_path << ": discarding "
+                       << contents.discarded_bytes << " corrupt trailing byte(s), keeping "
+                       << contents.valid_bytes;
+    }
+    // Cut the torn tail (or everything, when even the header is unusable) so
+    // new lines append cleanly after the valid prefix.
+    ALT_RETURN_IF_ERROR(TruncateFile(journal_path, contents.valid_bytes));
+  }
+
+  auto writer_or = TuningJournalWriter::Open(journal_path, fingerprint,
+                                             /*write_header=*/!contents.has_header);
+  if (!writer_or.ok()) {
+    return writer_or.status();
+  }
+  TuningJournalWriter writer = std::move(*writer_or);
+
+  autotune::TuningOptions tuning = ToTuningOptions(options, machine);
+  if (!contents.replay.empty()) {
+    tuning.measure_replay = &contents.replay;
+    ALT_LOG(Info) << "resuming from " << journal_path << ": replaying "
+                  << contents.replay.size() << " journaled measurement(s)";
+  }
+  tuning.event_sink = &writer;
+  autotune::JointTuner tuner(graph, machine, tuning);
+  auto result = tuner.Tune();
+  if (!writer.status().ok()) {
+    // The run itself is fine; only its crash insurance is gone.
+    ALT_LOG(Warning) << "tuning journal " << journal_path
+                     << " stopped recording: " << writer.status().message();
+  }
+  return result;
+}
+
+StatusOr<autotune::CompiledNetwork> ResumeFromJournal(const graph::Graph& graph,
+                                                      const sim::Machine& machine,
+                                                      const AltOptions& options,
+                                                      const std::string& journal_path) {
+  if (!FileExists(journal_path)) {
+    return Status::NotFound("no tuning journal at " + journal_path);
+  }
+  auto loaded = LoadTuningJournal(journal_path);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  if (!loaded->has_header) {
+    return Status::InvalidArgument("tuning journal " + journal_path +
+                                   " has no valid header; cannot resume from it");
+  }
+  return CompileWithJournal(graph, machine, options, journal_path);
+}
+
+}  // namespace alt::core

@@ -1,0 +1,129 @@
+// Crash-safe tuning journal with deterministic resume (replay-based).
+//
+// A tuning run is a long computation whose only expensive step — lowering a
+// candidate and running the analytic cost model over it — is a pure function
+// of its inputs. The journal exploits that: instead of snapshotting tuner
+// state (PPO weights, GBT forest, RNG cursor, budget counters — all of which
+// would have to stay bit-compatible forever), it records the OUTCOME of every
+// fresh measurement as it happens. Resume then simply re-runs the tuner from
+// the start with the same seed; journaled measurements are answered from a
+// replay log (autotune::MeasureReplayLog) instead of being re-executed, so
+// the trajectory — every budget decrement, reward, cost-model training row —
+// is reproduced exactly and cheaply up to the crash point, after which tuning
+// continues live. A resumed run therefore produces a CompiledNetwork
+// bit-identical to an uninterrupted run with the same options.
+//
+// FILE FORMAT — text, one record per line, each line independently framed:
+//
+//   <crc32-hex-8> <payload>\n
+//
+// where the checksum covers exactly <payload>. Payloads:
+//
+//   journal v1 fp=<fingerprint-hex-16>        header; fingerprint of
+//                                             (graph, machine, options)
+//   measure <site-hex-16> ok <latency %.17g>  fresh successful measurement
+//   measure <site-hex-16> fail                persistent measurement failure
+//   commit <op>|<out>|<in>|<weight>|<sched>   joint stage committed layouts
+//   batch spent=<n> best=<%.17g>              loop-batch progress marker
+//
+// `site` is Fnv1a64 of the full measurement cache key; `%.17g` round-trips
+// doubles bit-exactly. The writer flushes after every line, so on a crash the
+// file is a valid journal plus at most one torn final line. The reader stops
+// at the first line whose checksum (or framing) fails and reports the number
+// of valid bytes; resume truncates the file to that prefix before appending.
+// Commit and batch lines are informational (progress reporting, debugging) —
+// replay correctness needs only the measure lines.
+
+#ifndef ALT_CORE_TUNING_JOURNAL_H_
+#define ALT_CORE_TUNING_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/alt.h"
+#include "src/support/fileio.h"
+
+namespace alt::core {
+
+// Everything recoverable from a journal file.
+struct TuningJournalContents {
+  bool has_header = false;
+  uint64_t fingerprint = 0;
+  autotune::MeasureReplayLog replay;
+  int64_t measure_lines = 0;
+  int64_t commit_lines = 0;
+  int64_t batch_lines = 0;
+  int last_spent = 0;        // from the last batch line
+  double last_best_us = 0;   // from the last batch line
+  int64_t valid_bytes = 0;   // prefix that parsed and checksummed cleanly
+  int64_t discarded_bytes = 0;  // torn/corrupt tail (0 for a clean file)
+};
+
+// Stable fingerprint of everything the tuning trajectory depends on: the
+// graph structure, the machine, and every trajectory-affecting option.
+// Deliberately EXCLUDES measure_threads — the engine reduces measurements in
+// candidate order, so any thread count replays the same trajectory and a
+// journal written with 8 threads may be resumed with 1.
+uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machine,
+                           const AltOptions& options);
+
+// Parses `path`, tolerating a torn or corrupt tail: the first line that fails
+// framing or checksum ends the valid prefix and everything after it is
+// reported in `discarded_bytes`, never an error. Only a missing/unreadable
+// file is an error.
+StatusOr<TuningJournalContents> LoadTuningJournal(const std::string& path);
+
+// TuningEventSink that appends journal lines. Write errors (disk full, file
+// deleted) are sticky and silent: the first failure is recorded in status()
+// and later events are ignored — a broken journal must never abort or skew
+// the tuning run it observes.
+class TuningJournalWriter : public autotune::TuningEventSink {
+ public:
+  // Opens `path` for appending. When `write_header` is set, a fresh header
+  // line carrying `fingerprint` is written immediately (pass false when
+  // appending to a journal that already has one).
+  static StatusOr<TuningJournalWriter> Open(const std::string& path, uint64_t fingerprint,
+                                            bool write_header);
+
+  void OnMeasured(const std::string& key, const autotune::MeasureResult& result) override;
+  void OnLayoutCommitted(int op_id, const autotune::DecodedLayouts& layouts,
+                         const loop::LoopSchedule* best_schedule) override;
+  void OnBatchDone(int spent, double best_us) override;
+
+  // First write error, if any. Ok while everything has been durably written.
+  const Status& status() const { return status_; }
+
+ private:
+  TuningJournalWriter() = default;
+
+  void Append(const std::string& payload);
+
+  AppendWriter writer_;
+  Status status_ = Status::Ok();
+};
+
+// Compiles `graph`, journaling every fresh measurement to `journal_path`.
+//
+//   * No file at `journal_path`: identical to core::Compile, plus the journal.
+//   * A valid journal for the same fingerprint: its measurements are replayed
+//     (spending budget exactly as the original run did) and tuning continues
+//     live from where the journaled run stopped; the result is identical to
+//     an uninterrupted run. A torn/corrupt tail is truncated away first.
+//   * A journal for a DIFFERENT fingerprint: InvalidArgument — resuming a
+//     different workload's journal would silently corrupt the search.
+StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
+                                                       const sim::Machine& machine,
+                                                       const AltOptions& options,
+                                                       const std::string& journal_path);
+
+// Strict-resume variant: requires `journal_path` to exist and contain a valid
+// header (NotFound / InvalidArgument otherwise), then behaves exactly like
+// CompileWithJournal.
+StatusOr<autotune::CompiledNetwork> ResumeFromJournal(const graph::Graph& graph,
+                                                      const sim::Machine& machine,
+                                                      const AltOptions& options,
+                                                      const std::string& journal_path);
+
+}  // namespace alt::core
+
+#endif  // ALT_CORE_TUNING_JOURNAL_H_

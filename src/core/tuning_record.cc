@@ -70,6 +70,10 @@ StatusOr<TuningRecord> ParseTuningRecord(const std::string& text) {
         }
         ALT_RETURN_IF_ERROR(DecodeScheduleToken(kv[0], kv[1], sched));
       }
+      // The token grammar accepts any integers; reject structurally invalid
+      // schedules (zero/negative tile factors, wild axis counts) here, at the
+      // untrusted-text boundary.
+      ALT_RETURN_IF_ERROR(loop::ValidateSchedule(sched));
       record.schedules[tokens[1]] = std::move(sched);
     } else {
       return Status::InvalidArgument("unknown record directive: " + tokens[0]);
@@ -99,6 +103,15 @@ StatusOr<autotune::CompiledNetwork> ApplyTuningRecord(const graph::Graph& graph,
     int id = find_tensor(name);
     if (id >= 0) {
       assignment.Set(id, seq);
+      // A layout that cannot be applied to this tensor's shape (e.g. a split
+      // on a nonexistent dim from a record for a different-sized network)
+      // must fail here with context, not deep inside lowering.
+      auto phys = assignment.PhysicalShape(g, id);
+      if (!phys.ok()) {
+        return Status::InvalidArgument("record layout for tensor '" + name +
+                                       "' does not apply to its shape: " +
+                                       phys.status().message());
+      }
       continue;
     }
     // "<base>_cvt": the tuning run inserted a conversion op; re-create it
@@ -125,8 +138,25 @@ StatusOr<autotune::CompiledNetwork> ApplyTuningRecord(const graph::Graph& graph,
         }
       }
     }
-    return Status::NotFound("record references unknown tensor '" + name +
-                            "' — wrong network?");
+    return Status::InvalidArgument("record references unknown tensor '" + name +
+                                   "' — wrong network?");
+  }
+
+  // Every schedule must name an op of this graph; a silent skip would make a
+  // record for the wrong network "apply" cleanly with default schedules.
+  for (const auto& [op_name, sched] : record.schedules) {
+    bool known = false;
+    for (const auto& op : g.ops()) {
+      if (op.name == op_name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("record references unknown op '" + op_name +
+                                     "' — wrong network?");
+    }
+    ALT_RETURN_IF_ERROR(loop::ValidateSchedule(sched));
   }
 
   result.groups = loop::PartitionGraph(g, assignment, true);

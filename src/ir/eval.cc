@@ -16,8 +16,9 @@ int64_t FloorDivI(int64_t a, int64_t b) {
 
 }  // namespace
 
-CompiledExpr CompiledExpr::Compile(const Expr& e, const VarSlotMap& slots) {
+StatusOr<CompiledExpr> CompiledExpr::Compile(const Expr& e, const VarSlotMap& slots) {
   CompiledExpr out;
+  out.ops_.clear();
   // Post-order flattening.
   struct Frame {
     const ExprNode* node;
@@ -43,7 +44,9 @@ CompiledExpr CompiledExpr::Compile(const Expr& e, const VarSlotMap& slots) {
         break;
       case ExprKind::kVar: {
         int slot = slots.SlotOf(n->var_id);
-        ALT_CHECK_MSG(slot >= 0, "CompiledExpr: unbound var " << n->var_name);
+        if (slot < 0) {
+          return Status::InvalidArgument("CompiledExpr: unbound var " + n->var_name);
+        }
         op.code = OpCode::kPushVar;
         op.imm = slot;
         break;

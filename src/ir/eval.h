@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/ir/expr.h"
+#include "src/support/status.h"
 
 namespace alt::ir {
 
@@ -44,8 +45,15 @@ class VarSlotMap {
 
 class CompiledExpr {
  public:
-  // Compiles `e`; every var in `e` must already have a slot in `slots`.
-  static CompiledExpr Compile(const Expr& e, const VarSlotMap& slots);
+  // Compiles `e`. A var without a slot in `slots` is a malformed program
+  // (e.g. a corrupt tuning record lowered to IR referencing a loop variable
+  // that no loop binds) — it returns InvalidArgument rather than aborting, so
+  // one bad candidate can never take down a tuning process.
+  static StatusOr<CompiledExpr> Compile(const Expr& e, const VarSlotMap& slots);
+
+  // Default-constructed: evaluates to 0 (a single push-const op), so callers
+  // that record a Status and keep a placeholder expression stay well-defined.
+  CompiledExpr() : ops_{{OpCode::kPushConst, 0}}, stack_(2) {}
 
   int64_t Eval(const int64_t* env) const;
 

@@ -449,12 +449,20 @@ StatusOr<ir::Program> LowerGroup(const Graph& graph, const LayoutAssignment& ass
   }
   for (size_t j = 0; j < phys_shape.size(); ++j) {
     const auto& a = schedule.spatial[j];
+    // Sign check before the product check: a pair of negative factors can
+    // multiply to the right extent yet lower to a negative loop bound.
+    if (a.outer < 1 || a.mid < 1 || a.inner < 1 || a.vec < 1) {
+      return Status::InvalidArgument("spatial tile factors must be >= 1");
+    }
     if (a.outer * a.mid * a.inner * a.vec != phys_shape[j]) {
       return Status::InvalidArgument("spatial tile factors do not multiply to extent");
     }
   }
   for (size_t k = 0; k < body.reduction_extents.size(); ++k) {
     const auto& a = schedule.reduction[k];
+    if (a.outer < 1 || a.inner < 1) {
+      return Status::InvalidArgument("reduction tile factors must be >= 1");
+    }
     if (a.outer * a.inner != body.reduction_extents[k]) {
       return Status::InvalidArgument("reduction tile factors do not multiply to extent");
     }

@@ -245,4 +245,28 @@ Status DecodeScheduleToken(const std::string& key, const std::string& value,
   return Status::Ok();  // unknown keys: ignore
 }
 
+Status ValidateSchedule(const LoopSchedule& sched) {
+  for (size_t j = 0; j < sched.spatial.size(); ++j) {
+    const auto& a = sched.spatial[j];
+    if (a.outer < 1 || a.mid < 1 || a.inner < 1 || a.vec < 1) {
+      return Status::InvalidArgument("spatial axis " + std::to_string(j) +
+                                     ": tile factors must be >= 1");
+    }
+  }
+  for (size_t k = 0; k < sched.reduction.size(); ++k) {
+    const auto& a = sched.reduction[k];
+    if (a.outer < 1 || a.inner < 1) {
+      return Status::InvalidArgument("reduction axis " + std::to_string(k) +
+                                     ": tile factors must be >= 1");
+    }
+  }
+  if (sched.parallel_axes < 0 || sched.parallel_axes > 64) {
+    return Status::InvalidArgument("parallel_axes out of range");
+  }
+  if (sched.inner_order_rotation < 0 || sched.inner_order_rotation > 64) {
+    return Status::InvalidArgument("inner_order_rotation out of range");
+  }
+  return Status::Ok();
+}
+
 }  // namespace alt::loop

@@ -41,6 +41,12 @@ Status DecodeScheduleToken(const std::string& key, const std::string& value,
 // Comma-separated int64 list; rejects non-numeric or out-of-range entries.
 StatusOr<std::vector<int64_t>> ParseInts(const std::string& s);
 
+// Structural sanity of a decoded schedule: every tile factor >= 1,
+// parallel_axes and inner_order_rotation within [0, 64]. Decoders accept any
+// integers (the token grammar doesn't know the op signature), so untrusted
+// schedules must pass through this before being lowered or stored.
+Status ValidateSchedule(const LoopSchedule& sched);
+
 }  // namespace alt::loop
 
 #endif  // ALT_LOOP_SERIALIZATION_H_

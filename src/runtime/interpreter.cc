@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <sstream>
 
 #include "src/ir/eval.h"
 
@@ -47,26 +48,66 @@ struct PlanNode {
   CompiledStore store;
 };
 
+// Execution-time error state. A malformed program (e.g. applied from a
+// corrupt tuning record) may compute an out-of-range element offset; the
+// first such fault is recorded here and execution unwinds instead of
+// aborting the process.
+struct ExecContext {
+  Status error = Status::Ok();
+  bool failed = false;
+
+  void Fail(std::string msg) {
+    if (!failed) {
+      failed = true;
+      error = Status::InvalidArgument(std::move(msg));
+    }
+  }
+};
+
 struct Compiler {
   VarSlotMap slots;
   BufferStore* store;
   const ir::Program* program;
+  // First compile error; the returned plan is a safe placeholder after that.
   Status status = Status::Ok();
+
+  void Fail(const std::string& msg) {
+    if (status.ok()) {
+      status = Status::InvalidArgument(msg);
+    }
+  }
+
+  CompiledExpr CompileExpr(const ir::Expr& e) {
+    auto compiled = CompiledExpr::Compile(e, slots);
+    if (!compiled.ok()) {
+      Fail(compiled.status().message());
+      return CompiledExpr();
+    }
+    return std::move(*compiled);
+  }
 
   CompiledExpr LinearOffset(int tensor_id, const std::vector<ir::Expr>& indices,
                             int64_t* size_out) {
+    *size_out = 0;
     const ir::BufferDecl* decl = program->FindBuffer(tensor_id);
-    ALT_CHECK_MSG(decl != nullptr, "no buffer decl for tensor " << tensor_id);
+    if (decl == nullptr) {
+      Fail("no buffer decl for tensor " + std::to_string(tensor_id));
+      return CompiledExpr();
+    }
     auto strides = ir::RowMajorStrides(decl->tensor.shape);
-    ALT_CHECK_MSG(indices.size() == strides.size(),
-                  "index rank mismatch on tensor " << tensor_id << ": " << indices.size()
-                                                   << " vs " << strides.size());
+    if (indices.size() != strides.size()) {
+      std::ostringstream oss;
+      oss << "index rank mismatch on tensor " << tensor_id << ": " << indices.size()
+          << " vs " << strides.size();
+      Fail(oss.str());
+      return CompiledExpr();
+    }
     ir::Expr linear = ir::Const(0);
     for (size_t d = 0; d < indices.size(); ++d) {
       linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
     }
     *size_out = decl->tensor.NumElements();
-    return CompiledExpr::Compile(linear, slots);
+    return CompileExpr(linear);
   }
 
   CompiledVal CompileVal(const ir::Val& v) {
@@ -79,8 +120,7 @@ struct Compiler {
       return out;
     }
     for (const auto& c : v->conds) {
-      out.conds.push_back(
-          {CompiledExpr::Compile(c.expr, slots), c.lo, c.hi, c.modulus, c.rem});
+      out.conds.push_back({CompileExpr(c.expr), c.lo, c.hi, c.modulus, c.rem});
     }
     if (v->a) {
       out.a = std::make_unique<CompiledVal>(CompileVal(v->a));
@@ -120,39 +160,43 @@ struct Compiler {
   }
 };
 
-double EvalVal(const CompiledVal& v, const int64_t* env) {
+double EvalVal(const CompiledVal& v, const int64_t* env, ExecContext& ctx) {
   switch (v.kind) {
     case ir::ValKind::kImm:
       return v.imm;
     case ir::ValKind::kLoad: {
       int64_t off = v.offset.Eval(env);
-      ALT_CHECK_MSG(off >= 0 && off < v.buffer_size,
-                    "load out of bounds: " << off << " size " << v.buffer_size);
+      if (off < 0 || off >= v.buffer_size) {
+        std::ostringstream oss;
+        oss << "load out of bounds: " << off << " size " << v.buffer_size;
+        ctx.Fail(oss.str());
+        return 0.0;
+      }
       return (*v.buffer)[off];
     }
     case ir::ValKind::kAdd:
-      return EvalVal(*v.a, env) + EvalVal(*v.b, env);
+      return EvalVal(*v.a, env, ctx) + EvalVal(*v.b, env, ctx);
     case ir::ValKind::kSub:
-      return EvalVal(*v.a, env) - EvalVal(*v.b, env);
+      return EvalVal(*v.a, env, ctx) - EvalVal(*v.b, env, ctx);
     case ir::ValKind::kMul:
-      return EvalVal(*v.a, env) * EvalVal(*v.b, env);
+      return EvalVal(*v.a, env, ctx) * EvalVal(*v.b, env, ctx);
     case ir::ValKind::kDiv:
-      return EvalVal(*v.a, env) / EvalVal(*v.b, env);
+      return EvalVal(*v.a, env, ctx) / EvalVal(*v.b, env, ctx);
     case ir::ValKind::kMax:
-      return std::max(EvalVal(*v.a, env), EvalVal(*v.b, env));
+      return std::max(EvalVal(*v.a, env, ctx), EvalVal(*v.b, env, ctx));
     case ir::ValKind::kMin:
-      return std::min(EvalVal(*v.a, env), EvalVal(*v.b, env));
+      return std::min(EvalVal(*v.a, env, ctx), EvalVal(*v.b, env, ctx));
     case ir::ValKind::kExp:
-      return std::exp(EvalVal(*v.a, env));
+      return std::exp(EvalVal(*v.a, env, ctx));
     case ir::ValKind::kTanh:
-      return std::tanh(EvalVal(*v.a, env));
+      return std::tanh(EvalVal(*v.a, env, ctx));
     case ir::ValKind::kSqrt:
-      return std::sqrt(EvalVal(*v.a, env));
+      return std::sqrt(EvalVal(*v.a, env, ctx));
     case ir::ValKind::kSelect: {
       for (const auto& c : v.conds) {
         int64_t e = c.expr.Eval(env);
         if (e < c.lo || e >= c.hi) {
-          return EvalVal(*v.b, env);
+          return EvalVal(*v.b, env, ctx);
         }
         if (c.modulus > 1) {
           int64_t m = e % c.modulus;
@@ -160,37 +204,47 @@ double EvalVal(const CompiledVal& v, const int64_t* env) {
             m += c.modulus;
           }
           if (m != c.rem) {
-            return EvalVal(*v.b, env);
+            return EvalVal(*v.b, env, ctx);
           }
         }
       }
-      return EvalVal(*v.a, env);
+      return EvalVal(*v.a, env, ctx);
     }
   }
   return 0.0;
 }
 
-void ExecNode(const PlanNode& node, int64_t* env) {
+void ExecNode(const PlanNode& node, int64_t* env, ExecContext& ctx) {
   switch (node.kind) {
     case ir::StmtKind::kFor: {
-      for (int64_t i = 0; i < node.extent; ++i) {
+      for (int64_t i = 0; i < node.extent && !ctx.failed; ++i) {
         env[node.slot] = i;
-        ExecNode(node.children[0], env);
+        ExecNode(node.children[0], env, ctx);
       }
       break;
     }
     case ir::StmtKind::kBlock: {
       for (const auto& child : node.children) {
-        ExecNode(child, env);
+        if (ctx.failed) {
+          break;
+        }
+        ExecNode(child, env, ctx);
       }
       break;
     }
     case ir::StmtKind::kStore: {
       const auto& st = node.store;
       int64_t off = st.offset.Eval(env);
-      ALT_CHECK_MSG(off >= 0 && off < st.buffer_size,
-                    "store out of bounds: " << off << " size " << st.buffer_size);
-      double v = EvalVal(st.value, env);
+      if (off < 0 || off >= st.buffer_size) {
+        std::ostringstream oss;
+        oss << "store out of bounds: " << off << " size " << st.buffer_size;
+        ctx.Fail(oss.str());
+        break;
+      }
+      double v = EvalVal(st.value, env, ctx);
+      if (ctx.failed) {
+        break;
+      }
       if (st.mode == ir::StoreMode::kAssign) {
         (*st.buffer)[off] = static_cast<float>(v);
       } else {
@@ -229,9 +283,13 @@ Status Execute(const ir::Program& program, BufferStore& store) {
   compiler.store = &store;
   compiler.program = &program;
   PlanNode plan = compiler.CompileStmt(program.root);
+  if (!compiler.status.ok()) {
+    return compiler.status;
+  }
   std::vector<int64_t> env(compiler.slots.size(), 0);
-  ExecNode(plan, env.data());
-  return Status::Ok();
+  ExecContext ctx;
+  ExecNode(plan, env.data(), ctx);
+  return ctx.error;
 }
 
 }  // namespace alt::runtime

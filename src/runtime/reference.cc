@@ -360,7 +360,11 @@ StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
   }
   std::vector<ir::CompiledExpr> compiled;
   for (const auto& e : *inv) {
-    compiled.push_back(ir::CompiledExpr::Compile(e, slots));
+    auto ce = ir::CompiledExpr::Compile(e, slots);
+    if (!ce.ok()) {
+      return ce.status();
+    }
+    compiled.push_back(std::move(*ce));
   }
 
   auto canon_strides = ir::RowMajorStrides(canonical_shape);
@@ -420,7 +424,11 @@ StatusOr<std::vector<float>> Canonicalize(const std::vector<float>& physical,
   }
   std::vector<ir::CompiledExpr> compiled;
   for (const auto& e : *inv) {
-    compiled.push_back(ir::CompiledExpr::Compile(e, slots));
+    auto ce = ir::CompiledExpr::Compile(e, slots);
+    if (!ce.ok()) {
+      return ce.status();
+    }
+    compiled.push_back(std::move(*ce));
   }
 
   auto canon_strides = ir::RowMajorStrides(canonical_shape);

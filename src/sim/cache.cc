@@ -149,6 +149,24 @@ struct Tracer {
 
   ir::VarSlotMap slots;
   std::unordered_map<int, uint64_t> base_addr;
+  // First compile error (missing buffer decl, unbound loop var). A malformed
+  // program yields zeroed stats instead of aborting the process.
+  Status status = Status::Ok();
+
+  void Fail(const std::string& msg) {
+    if (status.ok()) {
+      status = Status::InvalidArgument(msg);
+    }
+  }
+
+  ir::CompiledExpr CompileExpr(const ir::Expr& e) {
+    auto compiled = ir::CompiledExpr::Compile(e, slots);
+    if (!compiled.ok()) {
+      Fail(compiled.status().message());
+      return ir::CompiledExpr();
+    }
+    return std::move(*compiled);
+  }
 
   struct CompiledAccess {
     ir::CompiledExpr offset;
@@ -189,14 +207,17 @@ struct Tracer {
 
   CompiledAccess CompileAccess(int tensor_id, const std::vector<ir::Expr>& indices) {
     const ir::BufferDecl* decl = program->FindBuffer(tensor_id);
-    ALT_CHECK(decl != nullptr);
+    if (decl == nullptr) {
+      Fail("trace: no buffer decl for tensor " + std::to_string(tensor_id));
+      return CompiledAccess();
+    }
     auto strides = ir::RowMajorStrides(decl->tensor.shape);
     ir::Expr linear = ir::Const(0);
     for (size_t d = 0; d < indices.size(); ++d) {
       linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
     }
     CompiledAccess access;
-    access.offset = ir::CompiledExpr::Compile(linear, slots);
+    access.offset = CompileExpr(linear);
     access.base = base_addr[tensor_id];
     return access;
   }
@@ -210,8 +231,7 @@ struct Tracer {
     }
     if (v->kind == ir::ValKind::kSelect) {
       for (const auto& c : v->conds) {
-        out->guards.push_back({ir::CompiledExpr::Compile(c.expr, slots), c.lo, c.hi,
-                               c.modulus, c.rem});
+        out->guards.push_back({CompileExpr(c.expr), c.lo, c.hi, c.modulus, c.rem});
       }
       out->a = CompileVal(v->a);
       out->b = v->b ? CompileVal(v->b) : nullptr;
@@ -360,6 +380,12 @@ TraceStats SimulateProgramTrace(const ir::Program& program, const Machine& machi
     return out;
   }
   Tracer::Node plan = tracer.Compile(program.root);
+  if (!tracer.status.ok()) {
+    // Malformed program: report an empty (zero-access) trace. The cost model
+    // turns that into a degenerate estimate and the candidate is rejected
+    // upstream; crashing the tuning process here would be strictly worse.
+    return out;
+  }
   std::vector<int64_t> env(tracer.slots.size(), 0);
   tracer.Exec(plan, env.data());
 

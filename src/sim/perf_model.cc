@@ -117,7 +117,14 @@ struct Collector {
           for (size_t d = 0; d < indices.size() && d < buf_strides.size(); ++d) {
             linear = ir::Add(linear, ir::Mul(indices[d], buf_strides[d]));
           }
-          auto compiled = ir::CompiledExpr::Compile(linear, slots);
+          auto maybe_compiled = ir::CompiledExpr::Compile(linear, slots);
+          if (!maybe_compiled.ok()) {
+            // Access references a var outside the loop nest (malformed
+            // program); skip it rather than crash — the candidate's estimate
+            // degrades but the tuning process survives.
+            return;
+          }
+          ir::CompiledExpr compiled = std::move(*maybe_compiled);
           AccessInfo info;
           info.is_store = is_store;
           info.tensor_elems = decl->tensor.NumElements();

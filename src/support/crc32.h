@@ -1,0 +1,28 @@
+// Checksums and stable hashes for on-disk framing and cache-key
+// fingerprinting.
+//
+// Crc32 (IEEE 802.3, reflected polynomial 0xEDB88320) frames every tuning
+// journal line so a crashed or torn write is detected on load instead of
+// silently corrupting a resumed run. Fnv1a64 fingerprints measurement cache
+// keys: the full keys are long structural strings, the journal only needs a
+// stable 64-bit identity for them. Both are fixed algorithms — values written
+// by one build must verify on any other — so neither may ever be swapped for
+// std::hash (which is unspecified across implementations).
+
+#ifndef ALT_SUPPORT_CRC32_H_
+#define ALT_SUPPORT_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace alt {
+
+// CRC-32 (IEEE) of `data`, starting from the conventional ~0 seed.
+uint32_t Crc32(std::string_view data);
+
+// FNV-1a 64-bit hash of `data`.
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace alt
+
+#endif  // ALT_SUPPORT_CRC32_H_

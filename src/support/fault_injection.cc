@@ -1,0 +1,33 @@
+#include "src/support/fault_injection.h"
+
+namespace alt {
+
+namespace {
+
+// SplitMix64 finalizer: a high-quality stateless mix of the inputs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::ShouldFail(uint64_t site, int attempt) const {
+  if (attempt < options_.always_fail_first) {
+    return true;
+  }
+  if (options_.failure_rate <= 0.0) {
+    return false;
+  }
+  if (options_.failure_rate >= 1.0) {
+    return true;
+  }
+  uint64_t h = Mix(Mix(options_.seed ^ site) + static_cast<uint64_t>(attempt));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < options_.failure_rate;
+}
+
+}  // namespace alt

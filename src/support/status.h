@@ -23,6 +23,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Transient: the operation may succeed if retried (e.g. an injected or
+  // real measurement-backend failure). Callers with a retry policy treat
+  // only this code as retryable.
+  kUnavailable,
 };
 
 // Plain value-type status: a code plus a human-readable message.
@@ -43,6 +47,9 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,6 +1,7 @@
 #include "src/support/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace alt {
 
@@ -48,15 +49,48 @@ void ThreadPool::FinishIndex() {
   }
 }
 
-void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+void ThreadPool::RecordError(int index, const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!batch_failed_) {
+    batch_failed_ = true;
+    batch_error_ = "task " + std::to_string(index) + " threw: " + what;
+  }
+}
+
+void ThreadPool::RunIndex(const std::function<void(int)>& fn, int index) {
+  // The catch-all is what keeps a throwing task from calling std::terminate
+  // on a worker thread; unconditionally finishing the index is what keeps the
+  // joining caller from waiting forever on `completed_`.
+  try {
+    fn(index);
+  } catch (const std::exception& e) {
+    RecordError(index, e.what());
+  } catch (...) {
+    RecordError(index, "non-standard exception");
+  }
+  FinishIndex();
+}
+
+Status ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) {
-    return;
+    return Status::Ok();
   }
   if (workers_.empty() || n == 1) {
+    std::string error;
     for (int i = 0; i < n; ++i) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        if (error.empty()) {
+          error = "task " + std::to_string(i) + " threw: " + e.what();
+        }
+      } catch (...) {
+        if (error.empty()) {
+          error = "task " + std::to_string(i) + " threw: non-standard exception";
+        }
+      }
     }
-    return;
+    return error.empty() ? Status::Ok() : Status::Internal(error);
   }
   uint64_t batch = 0;
   {
@@ -65,6 +99,8 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     batch_size_ = n;
     next_index_ = 0;
     completed_ = 0;
+    batch_error_.clear();
+    batch_failed_ = false;
     batch = ++batch_id_;
   }
   work_cv_.notify_all();
@@ -72,14 +108,14 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   // The caller participates until the batch's indices are exhausted.
   int i = 0;
   while (ClaimIndex(batch, &i)) {
-    fn(i);
-    FinishIndex();
+    RunIndex(fn, i);
   }
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this, n] { return completed_ == n; });
   fn_ = nullptr;
   batch_size_ = 0;
+  return batch_failed_ ? Status::Internal(batch_error_) : Status::Ok();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -99,8 +135,7 @@ void ThreadPool::WorkerLoop() {
     }
     int i = 0;
     while (ClaimIndex(seen_batch, &i)) {
-      (*fn)(i);
-      FinishIndex();
+      RunIndex(*fn, i);
     }
   }
 }

@@ -10,6 +10,13 @@
 // on pool workers and on the calling thread; it must only write to disjoint
 // state per index (e.g. `results[i]`). ParallelFor itself is NOT reentrant
 // from multiple threads on the same pool.
+//
+// Fault tolerance: a closure that throws does not take the pool down. On a
+// worker thread an escaping exception would call std::terminate, and a skipped
+// completion would deadlock the joining caller — so every invocation is
+// wrapped, the index is always marked finished, and the first captured
+// exception is reported as the ParallelFor return Status. Remaining indices
+// of the batch still run; the pool stays usable for subsequent batches.
 
 #ifndef ALT_SUPPORT_THREAD_POOL_H_
 #define ALT_SUPPORT_THREAD_POOL_H_
@@ -17,8 +24,11 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "src/support/status.h"
 
 namespace alt {
 
@@ -38,8 +48,10 @@ class ThreadPool {
 
   // Runs fn(i) for every i in [0, n); returns once all n calls completed.
   // Indices are claimed dynamically, so per-index results must be written to
-  // disjoint slots and reduced by the caller afterwards.
-  void ParallelFor(int n, const std::function<void(int)>& fn);
+  // disjoint slots and reduced by the caller afterwards. Returns Ok when every
+  // invocation returned normally, otherwise Internal carrying the first
+  // exception observed (all indices are still attempted either way).
+  Status ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
   void WorkerLoop();
@@ -47,6 +59,9 @@ class ThreadPool {
   // (or superseded), which tells the claimant to stop working on it.
   bool ClaimIndex(uint64_t batch, int* index);
   void FinishIndex();
+  // fn(i) with exception capture; always marks the index finished.
+  void RunIndex(const std::function<void(int)>& fn, int index);
+  void RecordError(int index, const char* what);
 
   std::vector<std::thread> workers_;
 
@@ -58,6 +73,8 @@ class ThreadPool {
   uint64_t batch_id_ = 0;             // bumped per ParallelFor call
   int next_index_ = 0;                // next unclaimed index of the batch
   int completed_ = 0;                 // indices fully executed
+  std::string batch_error_;           // first exception of the current batch
+  bool batch_failed_ = false;
   bool shutdown_ = false;
 };
 

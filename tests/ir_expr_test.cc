@@ -79,7 +79,9 @@ TEST(CompiledExprTest, MatchesRecursiveEval) {
   VarSlotMap slots;
   int si = slots.AddVar(i->var_id);
   int sj = slots.AddVar(j->var_id);
-  CompiledExpr ce = CompiledExpr::Compile(e, slots);
+  auto compiled = CompiledExpr::Compile(e, slots);
+  ASSERT_TRUE(compiled.ok());
+  CompiledExpr ce = std::move(*compiled);
   std::vector<int64_t> env(2);
   for (int64_t vi = 0; vi < 20; ++vi) {
     for (int64_t vj = 0; vj < 20; ++vj) {
@@ -93,7 +95,9 @@ TEST(CompiledExprTest, MatchesRecursiveEval) {
 
 TEST(CompiledExprTest, ConstantDetection) {
   VarSlotMap slots;
-  CompiledExpr c = CompiledExpr::Compile(Const(42), slots);
+  auto compiled = CompiledExpr::Compile(Const(42), slots);
+  ASSERT_TRUE(compiled.ok());
+  CompiledExpr c = std::move(*compiled);
   EXPECT_TRUE(c.IsConstant());
   EXPECT_EQ(c.Eval(nullptr), 42);
 }

@@ -9,6 +9,7 @@
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
 #include "src/loop/serialization.h"
+#include "src/support/crc32.h"
 
 namespace alt {
 namespace {
@@ -87,7 +88,7 @@ TEST(MeasureEngine, CacheOnMatchesCacheOffResult) {
   EXPECT_GT(rc->measure_stats.cache_hits, 0);
   EXPECT_EQ(rc->measure_stats.requested,
             rc->measure_stats.measured + rc->measure_stats.cache_hits +
-                rc->measure_stats.failed);
+                rc->measure_stats.failed + rc->measure_stats.replayed);
 
   core::AltOptions uncached = BaseOptions();
   uncached.measure_cache = false;
@@ -194,6 +195,176 @@ TEST(MeasureEngine, CacheKeySeparatesLayoutsAndGroups) {
   EXPECT_NE(key_canonical, key_blocked);
   // Deterministic for identical inputs.
   EXPECT_EQ(key_canonical, autotune::GroupCacheKey(g, canonical, groups[0]));
+}
+
+// One measurable candidate (group + naive schedule) for the fault tests.
+struct Candidate {
+  graph::Graph g;
+  graph::LayoutAssignment la;
+  loop::FusedGroup group;
+  loop::LoopSchedule sched;
+};
+
+Candidate MakeCandidate() {
+  Candidate c{SmallConvGraph(), {}, {}, {}};
+  auto groups = loop::PartitionGraph(c.g, c.la, true);
+  c.group = ComplexGroup(c.g, groups);
+  auto sig = loop::GroupSignature(c.g, c.la, c.group);
+  EXPECT_TRUE(sig.ok());
+  c.sched = loop::LoopSchedule::Naive(sig->spatial_extents, sig->reduction_extents);
+  return c;
+}
+
+TEST(MeasureEngine, TransientFailureRetriesThenCaches) {
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;
+  config.faults.always_fail_first = 1;  // first attempt of every key fails
+  config.retry.max_attempts = 3;
+  autotune::MeasureEngine engine(machine, config);
+
+  auto result = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.attempts, 2);  // one injected failure, then success
+  EXPECT_LT(result.latency_us, 1e30);
+  EXPECT_EQ(engine.stats().retries, 1);
+  EXPECT_EQ(engine.stats().injected_failures, 1);
+  EXPECT_EQ(engine.stats().measured, 1);
+  EXPECT_EQ(engine.stats().failed, 0);
+  EXPECT_EQ(engine.cache_size(), 1);
+
+  // The recovered value is a real measurement: it hits the cache like any
+  // other, and matches a fault-free engine's answer.
+  auto again = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.latency_us, result.latency_us);
+  autotune::MeasureEngine clean(machine, /*threads=*/1, /*cache_enabled=*/true);
+  auto reference = clean.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_EQ(reference.latency_us, result.latency_us);
+}
+
+TEST(MeasureEngine, PersistentFailureQuarantinesAndIsNeverCached) {
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;
+  config.faults.always_fail_first = 100;  // outlasts any retry budget
+  config.retry.max_attempts = 3;
+  autotune::MeasureEngine engine(machine, config);
+
+  auto result = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(engine.stats().failed, 1);
+  EXPECT_EQ(engine.stats().retries, 2);
+  EXPECT_EQ(engine.stats().quarantined, 1);
+  EXPECT_EQ(engine.quarantine_size(), 1);
+  EXPECT_EQ(engine.cache_size(), 0);  // failures are never cached as latencies
+
+  // Second request short-circuits in quarantine: zero attempts, still failed.
+  auto again = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_FALSE(again.status.ok());
+  EXPECT_EQ(again.attempts, 0);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(engine.stats().failed, 2);
+  EXPECT_EQ(engine.stats().retries, 2);  // no new attempts were spent
+  EXPECT_EQ(engine.stats().quarantined, 1);
+}
+
+TEST(MeasureEngine, FaultyBatchStillFillsEverySlot) {
+  // A batch under a 30% transient failure rate must come back fully
+  // populated: every slot either a real latency or a non-ok status, no
+  // aborts, and accounting intact.
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+  auto sig = loop::GroupSignature(c.g, c.la, c.group);
+  ASSERT_TRUE(sig.ok());
+  auto space = autotune::LoopSpace::ForSignature(*sig, machine, false);
+  Rng rng(29);
+  std::vector<loop::LoopSchedule> scheds;
+  for (int i = 0; i < 16; ++i) {
+    scheds.push_back(space.Decode(autotune::RandomPoint(space.num_knobs(), rng)));
+  }
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 4;
+  config.faults.failure_rate = 0.3;
+  config.faults.seed = 11;
+  config.retry.max_attempts = 2;
+  autotune::MeasureEngine engine(machine, config);
+
+  auto results = engine.Measure(c.g, c.la, c.group, scheds);
+  ASSERT_EQ(results.size(), scheds.size());
+  for (const auto& r : results) {
+    if (r.status.ok()) {
+      EXPECT_LT(r.latency_us, 1e30);
+    }
+  }
+  const auto& st = engine.stats();
+  EXPECT_EQ(st.requested, static_cast<int64_t>(scheds.size()));
+  EXPECT_EQ(st.requested, st.measured + st.cache_hits + st.failed + st.replayed);
+}
+
+TEST(MeasureEngine, ReplayLogAnswersWithoutMeasuring) {
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  // Hand-build a replay log for this exact candidate, the same way the
+  // journal writer keys it: Fnv1a64 of GroupCacheKey + "#" + schedule.
+  const std::string key = autotune::GroupCacheKey(c.g, c.la, c.group) + "#" +
+                          loop::EncodeSchedule(c.sched);
+  autotune::MeasureReplayLog replay;
+  replay.ok[Fnv1a64(key)] = 42.5;
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;
+  config.replay = &replay;
+  int fresh_outcomes = 0;
+  config.on_measured = [&](const std::string&, const autotune::MeasureResult&) {
+    ++fresh_outcomes;
+  };
+  autotune::MeasureEngine engine(machine, config);
+
+  auto result = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.replayed);
+  EXPECT_FALSE(result.cache_hit);  // budget accounting must match the original run
+  EXPECT_EQ(result.latency_us, 42.5);
+  EXPECT_EQ(result.attempts, 0);
+  EXPECT_EQ(engine.stats().measured, 0);
+  EXPECT_EQ(engine.stats().replayed, 1);
+  EXPECT_EQ(fresh_outcomes, 0);  // a replay is not a fresh outcome
+
+  // Successful replays prime the cache, so a revisit is a plain cache hit —
+  // exactly what the original (journaling) run would have seen.
+  auto again = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.latency_us, 42.5);
+}
+
+TEST(MeasureEngine, ReplayedFailureQuarantines) {
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  const std::string key = autotune::GroupCacheKey(c.g, c.la, c.group) + "#" +
+                          loop::EncodeSchedule(c.sched);
+  autotune::MeasureReplayLog replay;
+  replay.failed.insert(Fnv1a64(key));
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;
+  config.replay = &replay;
+  autotune::MeasureEngine engine(machine, config);
+
+  auto result = engine.MeasureOne(c.g, c.la, c.group, c.sched);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.replayed);
+  EXPECT_EQ(engine.stats().replayed, 1);
+  EXPECT_EQ(engine.stats().measured, 0);
+  EXPECT_EQ(engine.quarantine_size(), 1);  // stays failed on revisit, no re-measure
 }
 
 }  // namespace

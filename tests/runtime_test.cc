@@ -280,5 +280,96 @@ TEST(Reference, LayerNormMoments) {
   }
 }
 
+TEST(Interpreter, OutOfBoundsStoreReturnsStatusNotCrash) {
+  // for i in 8: out[i] = in[i], but out only has 4 elements. A malformed
+  // program (bad schedule, corrupt record) must surface as a Status from
+  // Execute, never as memory corruption or an abort.
+  ir::Program program;
+  ir::BufferDecl in;
+  in.tensor.id = 0;
+  in.tensor.name = "in";
+  in.tensor.shape = {8};
+  in.role = ir::BufferRole::kInput;
+  ir::BufferDecl out;
+  out.tensor.id = 1;
+  out.tensor.name = "out";
+  out.tensor.shape = {4};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {in, out};
+  ir::Expr i = ir::MakeVar("i");
+  program.root = ir::MakeFor(
+      i, 8, ir::ForKind::kSerial,
+      ir::MakeStore(1, {i}, ir::Load(0, {i}), ir::StoreMode::kAssign));
+
+  BufferStore store;
+  store.Get(0) = {1, 2, 3, 4, 5, 6, 7, 8};
+  Status s = Execute(program, store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("out"), std::string::npos);
+}
+
+TEST(Interpreter, OutOfBoundsLoadReturnsStatus) {
+  // out[i] = in[i + 4] walks off the end of a 4-element input.
+  ir::Program program;
+  ir::BufferDecl in;
+  in.tensor.id = 0;
+  in.tensor.name = "in";
+  in.tensor.shape = {4};
+  in.role = ir::BufferRole::kInput;
+  ir::BufferDecl out;
+  out.tensor.id = 1;
+  out.tensor.name = "out";
+  out.tensor.shape = {4};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {in, out};
+  ir::Expr i = ir::MakeVar("i");
+  program.root = ir::MakeFor(
+      i, 4, ir::ForKind::kSerial,
+      ir::MakeStore(1, {i}, ir::Load(0, {ir::Add(i, ir::Const(4))}),
+                    ir::StoreMode::kAssign));
+
+  BufferStore store;
+  store.Get(0) = {1, 2, 3, 4};
+  EXPECT_FALSE(Execute(program, store).ok());
+}
+
+TEST(Interpreter, UnboundVariableReturnsStatus) {
+  // The store index references a loop variable that no loop binds.
+  ir::Program program;
+  ir::BufferDecl out;
+  out.tensor.id = 0;
+  out.tensor.name = "out";
+  out.tensor.shape = {4};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {out};
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr ghost = ir::MakeVar("never_bound");
+  program.root = ir::MakeFor(
+      i, 4, ir::ForKind::kSerial,
+      ir::MakeStore(0, {ghost}, ir::Imm(1.0), ir::StoreMode::kAssign));
+
+  BufferStore store;
+  Status s = Execute(program, store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("never_bound"), std::string::npos);
+}
+
+TEST(Interpreter, StoreToUndeclaredBufferReturnsStatus) {
+  ir::Program program;
+  ir::BufferDecl out;
+  out.tensor.id = 0;
+  out.tensor.name = "out";
+  out.tensor.shape = {2};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {out};
+  ir::Expr i = ir::MakeVar("i");
+  program.root = ir::MakeFor(
+      i, 2, ir::ForKind::kSerial,
+      ir::MakeStore(/*buffer_id=*/5, {i}, ir::Imm(1.0), ir::StoreMode::kAssign));
+
+  BufferStore store;
+  EXPECT_FALSE(Execute(program, store).ok());
+}
+
 }  // namespace
 }  // namespace alt::runtime

@@ -1,9 +1,13 @@
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/support/crc32.h"
+#include "src/support/fault_injection.h"
+#include "src/support/fileio.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/string_util.h"
@@ -169,6 +173,147 @@ TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoops) {
   pool.ParallelFor(0, [&](int) { ran = true; });
   pool.ParallelFor(-3, [&](int) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, TaskExceptionDoesNotKillThePool) {
+  // A throwing task must surface as a Status, not terminate the process or
+  // deadlock the join, and the pool must stay fully usable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  Status s = pool.ParallelFor(100, [&](int i) {
+    if (i == 37) {
+      throw std::runtime_error("simulated worker crash");
+    }
+    completed.fetch_add(1);
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("simulated worker crash"), std::string::npos);
+
+  // Next batch starts clean: the error is not sticky and every index runs.
+  std::atomic<int> sum{0};
+  Status ok = pool.ParallelFor(50, [&](int i) { sum.fetch_add(i); });
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(sum.load(), 49 * 50 / 2);
+}
+
+TEST(ThreadPoolTest, InlineTaskExceptionIsAlsoCaptured) {
+  ThreadPool pool(1);  // single-thread pools run the closure inline
+  Status s = pool.ParallelFor(3, [&](int i) {
+    if (i == 1) {
+      throw std::runtime_error("inline crash");
+    }
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(pool.ParallelFor(3, [](int) {}).ok());
+}
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  // The IEEE CRC-32 check value (CRC of "123456789").
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("journal v1"), Crc32("journal v2"));
+}
+
+TEST(Fnv1a64Test, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);  // FNV offset basis
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+}
+
+TEST(FileIoTest, WriteReadTruncateRoundTrip) {
+  std::string path = ::testing::TempDir() + "fileio_roundtrip.txt";
+  RemoveFile(path);
+  EXPECT_FALSE(FileExists(path));
+
+  ASSERT_TRUE(WriteFile(path, "hello\nworld\n").ok());
+  EXPECT_TRUE(FileExists(path));
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello\nworld\n");
+
+  ASSERT_TRUE(TruncateFile(path, 6).ok());
+  data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello\n");
+
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(ReadFile(path).ok());
+}
+
+TEST(FileIoTest, AppendWriterFlushesLineByLine) {
+  std::string path = ::testing::TempDir() + "fileio_append.txt";
+  RemoveFile(path);
+  {
+    auto writer = AppendWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendLine("one").ok());
+    // Flushed per line: the line is durable while the writer is still open.
+    auto mid = ReadFile(path);
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(*mid, "one\n");
+    ASSERT_TRUE(writer->AppendLine("two").ok());
+  }
+  // Reopening appends after the existing content.
+  {
+    auto writer = AppendWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendLine("three").ok());
+  }
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "one\ntwo\nthree\n");
+  RemoveFile(path);
+}
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_FALSE(off.ShouldFail(123, a));
+  }
+}
+
+TEST(FaultInjectorTest, StatelessAndDeterministic) {
+  FaultInjector::Options options;
+  options.failure_rate = 0.5;
+  options.seed = 42;
+  FaultInjector a(options), b(options);
+  // Decisions are a pure function of (seed, site, attempt): two injectors
+  // agree, and interleaving unrelated queries changes nothing.
+  for (uint64_t site = 0; site < 50; ++site) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      bool expected = a.ShouldFail(site, attempt);
+      b.ShouldFail(site * 7919 + 1, attempt);  // unrelated query in between
+      EXPECT_EQ(b.ShouldFail(site, attempt), expected);
+      EXPECT_EQ(a.ShouldFail(site, attempt), expected);  // re-asking agrees
+    }
+  }
+}
+
+TEST(FaultInjectorTest, RateIsApproximatelyHonored) {
+  FaultInjector::Options options;
+  options.failure_rate = 0.25;
+  options.seed = 9;
+  FaultInjector injector(options);
+  int failures = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    failures += injector.ShouldFail(static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.25, 0.02);
+}
+
+TEST(FaultInjectorTest, AlwaysFailFirstOverridesRate) {
+  FaultInjector::Options options;
+  options.always_fail_first = 2;
+  FaultInjector injector(options);
+  EXPECT_TRUE(injector.enabled());
+  for (uint64_t site = 0; site < 10; ++site) {
+    EXPECT_TRUE(injector.ShouldFail(site, 0));
+    EXPECT_TRUE(injector.ShouldFail(site, 1));
+    EXPECT_FALSE(injector.ShouldFail(site, 2));  // rate 0: retries succeed
+  }
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Tests for the crash-safe tuning journal: CRC line framing, tolerant
+// parsing of torn/corrupt tails, deterministic replay-based resume (the
+// kill-and-resume acceptance scenario), and fault-injected tuning sessions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/tuning_journal.h"
+#include "src/graph/networks.h"
+#include "src/loop/serialization.h"
+#include "src/support/fileio.h"
+
+namespace alt {
+namespace {
+
+graph::Graph SmallConvGraph() {
+  graph::Graph g("journal_target");
+  int x = g.AddInput("x", {1, 16, 14, 14});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {32, 16, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  g.AddRelu(c, "relu");
+  return g;
+}
+
+core::AltOptions BaseOptions() {
+  core::AltOptions options;
+  options.budget = 120;
+  options.method = autotune::SearchMethod::kRandom;
+  options.seed = 7;
+  return options;
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  RemoveFile(path);
+  return path;
+}
+
+// Every observable piece of a compilation result that the resume guarantee
+// promises to reproduce.
+void ExpectIdenticalResults(const autotune::CompiledNetwork& a,
+                            const autotune::CompiledNetwork& b) {
+  EXPECT_EQ(a.perf.latency_us, b.perf.latency_us);
+  EXPECT_EQ(a.measurements_used, b.measurements_used);
+  ASSERT_EQ(a.history_us.size(), b.history_us.size());
+  for (size_t i = 0; i < a.history_us.size(); ++i) {
+    ASSERT_EQ(a.history_us[i], b.history_us[i]) << "tuning curve diverges at " << i;
+  }
+  ASSERT_EQ(a.schedules.size(), b.schedules.size());
+  for (size_t i = 0; i < a.schedules.size(); ++i) {
+    EXPECT_EQ(loop::EncodeSchedule(a.schedules[i]), loop::EncodeSchedule(b.schedules[i]));
+  }
+  ASSERT_EQ(a.graph.tensors().size(), b.graph.tensors().size());
+  for (const auto& t : a.graph.tensors()) {
+    EXPECT_EQ(loop::EncodeLayoutSeq(a.assignment.Get(t.id)),
+              loop::EncodeLayoutSeq(b.assignment.Get(t.id)))
+        << "layout diverges on tensor " << t.name;
+  }
+}
+
+TEST(TuningJournal, JournalRoundTrip) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  std::string path = TempPath("journal_roundtrip.altj");
+
+  auto result = core::CompileWithJournal(g, machine, options, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(FileExists(path));
+
+  auto contents = core::LoadTuningJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->has_header);
+  EXPECT_EQ(contents->fingerprint, core::TuningFingerprint(g, machine, options));
+  EXPECT_GT(contents->measure_lines, 0);
+  EXPECT_GT(contents->batch_lines, 0);
+  EXPECT_EQ(contents->discarded_bytes, 0);
+  EXPECT_EQ(static_cast<int64_t>(contents->replay.ok.size()), result->measure_stats.measured);
+}
+
+TEST(TuningJournal, JournalingIsObservationOnly) {
+  // A journaled run must produce the same result as a plain Compile.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  std::string path = TempPath("journal_observer.altj");
+
+  auto plain = core::Compile(g, machine, options);
+  auto journaled = core::CompileWithJournal(g, machine, options, path);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(journaled.ok());
+  ExpectIdenticalResults(*plain, *journaled);
+}
+
+TEST(TuningJournal, TornTailIsDiscardedNotFatal) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  std::string path = TempPath("journal_torn.altj");
+  auto result = core::CompileWithJournal(g, machine, BaseOptions(), path);
+  ASSERT_TRUE(result.ok());
+
+  auto full = ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  // Simulate a crash mid-write: cut the file in the middle of its last line.
+  ASSERT_TRUE(TruncateFile(path, full->size() - 7).ok());
+
+  auto contents = core::LoadTuningJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->has_header);
+  EXPECT_GT(contents->discarded_bytes, 0);
+  EXPECT_LT(contents->valid_bytes, static_cast<int64_t>(full->size()));
+}
+
+TEST(TuningJournal, BitFlipEndsTheValidPrefix) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  std::string path = TempPath("journal_bitflip.altj");
+  auto result = core::CompileWithJournal(g, machine, BaseOptions(), path);
+  ASSERT_TRUE(result.ok());
+
+  auto full = ReadFile(path);
+  ASSERT_TRUE(full.ok());
+  auto clean = core::LoadTuningJournal(path);
+  ASSERT_TRUE(clean.ok());
+
+  // Flip one payload byte around the middle of the file; the CRC must catch
+  // it and everything from that line on must be discarded.
+  std::string corrupted = *full;
+  size_t flip_at = corrupted.size() / 2;
+  corrupted[flip_at] ^= 0x20;
+  ASSERT_TRUE(WriteFile(path, corrupted).ok());
+
+  auto contents = core::LoadTuningJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->has_header);
+  EXPECT_GT(contents->discarded_bytes, 0);
+  EXPECT_LE(contents->valid_bytes, static_cast<int64_t>(flip_at));
+  EXPECT_LT(contents->replay.ok.size(), clean->replay.ok.size());
+}
+
+TEST(TuningJournal, CorruptedJournalStillResumes) {
+  // A bit-flipped journal loses its suffix but the prefix resumes cleanly and
+  // converges to the uninterrupted result.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  std::string full_path = TempPath("journal_flip_full.altj");
+  auto full_run = core::CompileWithJournal(g, machine, options, full_path);
+  ASSERT_TRUE(full_run.ok());
+
+  auto bytes = ReadFile(full_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = *bytes;
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  std::string flip_path = TempPath("journal_flip_copy.altj");
+  ASSERT_TRUE(WriteFile(flip_path, corrupted).ok());
+
+  auto resumed = core::CompileWithJournal(g, machine, options, flip_path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdenticalResults(*full_run, *resumed);
+}
+
+// THE acceptance scenario: tune with budget B while journaling, kill the run
+// half way (simulated by truncating the journal to its first half, cutting
+// mid-line like a torn write would), resume from the prefix, and require the
+// final CompiledNetwork to be identical to the uninterrupted run's.
+TEST(TuningJournal, KillAndResumeMatchesUninterrupted) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+
+  std::string full_path = TempPath("journal_full.altj");
+  auto full_run = core::CompileWithJournal(g, machine, options, full_path);
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  // The journal of a run killed at ~50% is a byte prefix of the full run's
+  // journal (execution is deterministic and the writer appends + flushes
+  // line by line), so truncation reproduces the crash exactly.
+  auto bytes = ReadFile(full_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string crashed_path = TempPath("journal_crashed.altj");
+  ASSERT_TRUE(WriteFile(crashed_path, bytes->substr(0, bytes->size() / 2)).ok());
+
+  auto resumed = core::CompileWithJournal(g, machine, options, crashed_path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  ExpectIdenticalResults(*full_run, *resumed);
+  // The resumed run replayed the journaled prefix instead of re-measuring it.
+  EXPECT_GT(resumed->measure_stats.replayed, 0);
+  EXPECT_LT(resumed->measure_stats.measured, full_run->measure_stats.measured);
+  EXPECT_EQ(resumed->measure_stats.requested,
+            resumed->measure_stats.measured + resumed->measure_stats.cache_hits +
+                resumed->measure_stats.failed + resumed->measure_stats.replayed);
+}
+
+TEST(TuningJournal, ResumeFromCompleteJournalMeasuresNothing) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  std::string path = TempPath("journal_complete.altj");
+
+  auto first = core::CompileWithJournal(g, machine, options, path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->measure_stats.measured, 0);
+
+  auto second = core::ResumeFromJournal(g, machine, options, path);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ExpectIdenticalResults(*first, *second);
+  EXPECT_EQ(second->measure_stats.measured, 0);
+  EXPECT_GT(second->measure_stats.replayed, 0);
+}
+
+TEST(TuningJournal, ResumeRejectsMismatchedConfiguration) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  std::string path = TempPath("journal_mismatch.altj");
+  auto first = core::CompileWithJournal(g, machine, BaseOptions(), path);
+  ASSERT_TRUE(first.ok());
+
+  core::AltOptions different = BaseOptions();
+  different.budget = 200;  // a different trajectory: the journal is useless
+  auto resumed = core::CompileWithJournal(g, machine, different, path);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TuningJournal, ResumeFromJournalRequiresAJournal) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  auto missing = core::ResumeFromJournal(g, machine, BaseOptions(),
+                                         TempPath("journal_missing.altj"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TuningJournal, FaultInjectedTuningCompletesAndIsDeterministic) {
+  // A 10% transient failure rate must not abort tuning; retries absorb the
+  // faults and the whole run stays deterministic (the injector is stateless).
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  options.fault_injection.failure_rate = 0.1;
+  options.fault_injection.seed = 5;
+
+  auto r1 = core::Compile(g, machine, options);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_GT(r1->measure_stats.injected_failures, 0);
+  EXPECT_GT(r1->measure_stats.retries, 0);
+
+  auto r2 = core::Compile(g, machine, options);
+  ASSERT_TRUE(r2.ok());
+  ExpectIdenticalResults(*r1, *r2);
+  EXPECT_EQ(r1->measure_stats.injected_failures, r2->measure_stats.injected_failures);
+  EXPECT_EQ(r1->measure_stats.retries, r2->measure_stats.retries);
+}
+
+TEST(TuningJournal, FaultInjectedKillAndResume) {
+  // Replay and fault injection compose: resuming a fault-injected run still
+  // reproduces the uninterrupted result.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  options.fault_injection.failure_rate = 0.1;
+  options.fault_injection.seed = 5;
+
+  std::string full_path = TempPath("journal_fault_full.altj");
+  auto full_run = core::CompileWithJournal(g, machine, options, full_path);
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  auto bytes = ReadFile(full_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string crashed_path = TempPath("journal_fault_crashed.altj");
+  ASSERT_TRUE(WriteFile(crashed_path, bytes->substr(0, bytes->size() / 2)).ok());
+
+  auto resumed = core::CompileWithJournal(g, machine, options, crashed_path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdenticalResults(*full_run, *resumed);
+}
+
+}  // namespace
+}  // namespace alt

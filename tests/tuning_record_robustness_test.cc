@@ -4,14 +4,33 @@
 // factor wider than int64 threw from std::stoi/std::stoll and aborted the
 // process (the parser is exception-free by design, so nothing caught them).
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
+#include "src/core/tuning_journal.h"
+#include "src/support/crc32.h"
 #include "src/core/tuning_record.h"
 #include "src/loop/serialization.h"
+#include "src/support/fileio.h"
 #include "src/support/string_util.h"
 
 namespace alt {
 namespace {
+
+graph::Graph RecordTargetGraph() {
+  graph::Graph g("record_target");
+  int x = g.AddInput("x", {1, 16, 14, 14});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {32, 16, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  g.AddRelu(c, "relu");
+  return g;
+}
 
 TEST(TuningRecordRobustness, NonNumericScheduleFieldsReturnStatus) {
   for (const char* text : {
@@ -87,6 +106,98 @@ TEST(TuningRecordRobustness, CheckedParsersRejectEdgeCases) {
   EXPECT_EQ(*ParseInt64("-42"), -42);
   ASSERT_TRUE(ParseInt32("2147483647").ok());
   EXPECT_EQ(*ParseInt32("2147483647"), 2147483647);
+}
+
+TEST(TuningRecordRobustness, StructurallyInvalidSchedulesReturnStatus) {
+  // The token grammar accepts any integers; ValidateSchedule must reject
+  // zero/negative tile factors and wild axis counts at the parse boundary.
+  for (const char* text : {
+           "schedule conv s=0,1,7,4;1,1,16,1 r=4,4",    // zero spatial factor
+           "schedule conv s=-2,1,7,4;1,1,16,1 r=4,4",   // negative spatial factor
+           "schedule conv s=2,1,7,4;1,1,16,1 r=0,4",    // zero reduction factor
+           "schedule conv s=2,1,7,4;1,1,16,1 r=-1,4",   // negative reduction factor
+           "schedule conv par=-1",                      // negative axis count
+           "schedule conv par=1000",                    // absurd axis count
+           "schedule conv rot=-3",
+           "schedule conv rot=999",
+       }) {
+    auto record = core::ParseTuningRecord(text);
+    EXPECT_FALSE(record.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(TuningRecordRobustness, ApplyRejectsUnknownTensor) {
+  graph::Graph g = RecordTargetGraph();
+  auto record = core::ParseTuningRecord("layout no_such_tensor split:1:4,8\n");
+  ASSERT_TRUE(record.ok());
+  auto applied = core::ApplyTuningRecord(g, sim::Machine::IntelCpu(), *record);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(applied.status().message().find("no_such_tensor"), std::string::npos);
+}
+
+TEST(TuningRecordRobustness, ApplyRejectsUnknownOp) {
+  graph::Graph g = RecordTargetGraph();
+  auto record =
+      core::ParseTuningRecord("schedule no_such_op s=2,1,7,4;1,1,16,1 r=4,4\n");
+  ASSERT_TRUE(record.ok());
+  auto applied = core::ApplyTuningRecord(g, sim::Machine::IntelCpu(), *record);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(applied.status().message().find("no_such_op"), std::string::npos);
+}
+
+TEST(TuningRecordRobustness, ApplyRejectsLayoutThatDoesNotFitTheShape) {
+  // A split on a dim the tensor does not have: a record from a different
+  // network. Must fail with context, not crash deep inside lowering.
+  graph::Graph g = RecordTargetGraph();
+  auto record = core::ParseTuningRecord("layout x split:9:2,2\n");
+  ASSERT_TRUE(record.ok());
+  auto applied = core::ApplyTuningRecord(g, sim::Machine::IntelCpu(), *record);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TuningRecordRobustness, JournalCorruptionCorpusNeverCrashesTheLoader) {
+  // LoadTuningJournal must treat arbitrary bytes as "some valid prefix plus
+  // a discarded tail" — never crash, never error on content.
+  const std::string good =
+      "journal v1 fp=00000000000000ff";  // payload whose framing we corrupt
+  auto frame = [](const std::string& payload) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x ", Crc32(payload));
+    return crc + payload + "\n";
+  };
+  const std::string corpus[] = {
+      "",                                      // empty file
+      "\n\n\n",                                // blank lines, no framing
+      "garbage with no checksum at all\n",     // unframed text
+      "deadbeef " + good + "\n",               // wrong checksum
+      "DEADBEEF " + good + "\n",               // uppercase hex is invalid
+      frame(good),                             // valid header only
+      frame(good) + "tail without newline",    // torn final line
+      frame(good) + frame("measure 0123456789abcdef ok 1.5") +
+          frame("measure not-16-hex-chars ok 1.5"),       // bad site field
+      frame(good) + frame("measure 0123456789abcdef zap"), // bad outcome word
+      frame(good) + frame("batch spent=x best=y"),         // bad batch fields
+      frame(good) + frame("future-kind anything goes"),    // unknown kind: ok
+      std::string(1, '\0') + frame(good),                  // NUL first byte
+      frame("journal v9 fp=0000000000000000"),             // unsupported header
+  };
+  std::string path = ::testing::TempDir() + "journal_corpus.altj";
+  for (size_t i = 0; i < sizeof(corpus) / sizeof(corpus[0]); ++i) {
+    ASSERT_TRUE(WriteFile(path, corpus[i]).ok());
+    auto loaded = core::LoadTuningJournal(path);
+    ASSERT_TRUE(loaded.ok()) << "corpus entry " << i << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->valid_bytes + loaded->discarded_bytes,
+              static_cast<int64_t>(corpus[i].size()))
+        << "corpus entry " << i;
+    if (loaded->has_header) {
+      EXPECT_EQ(loaded->fingerprint, 0xffull) << "corpus entry " << i;
+    }
+  }
+  RemoveFile(path);
 }
 
 TEST(TuningRecordRobustness, PrimitiveCodecRoundTrips) {
