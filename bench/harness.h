@@ -9,17 +9,73 @@
 #define ALT_BENCH_HARNESS_H_
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/baselines/baselines.h"
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
+#include "src/support/fileio.h"
 #include "src/support/logging.h"
 
 namespace alt::bench {
+
+// Order statistics over repeated samples (exact nearest-rank percentiles —
+// unlike the bucketed MetricsRegistry histograms, bench sample counts are
+// tiny, so sorting is free and exact).
+struct SampleStats {
+  int n = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline SampleStats Summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.n = static_cast<int>(samples.size());
+  if (s.n == 0) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) {
+    sum += v;
+  }
+  s.mean = sum / s.n;
+  s.min = samples.front();
+  s.max = samples.back();
+  auto rank = [&](double p) {
+    int idx = static_cast<int>(std::ceil(p / 100.0 * s.n)) - 1;
+    return samples[std::min(std::max(idx, 0), s.n - 1)];
+  };
+  s.p50 = rank(50);
+  s.p95 = rank(95);
+  return s;
+}
+
+// Directory for per-run telemetry artifacts, from ALT_TRACE_DIR ("" = off).
+// When set, every ALT-variant RunMethod writes <net>_<method>_trace.json
+// (Chrome trace-event format) and <net>_<method>_metrics.json there.
+inline std::string TraceDir() {
+  const char* dir = std::getenv("ALT_TRACE_DIR");
+  return dir != nullptr ? dir : "";
+}
+
+inline std::string SanitizeTag(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return out;
+}
 
 struct MethodResult {
   std::string name;
@@ -53,7 +109,20 @@ inline MethodResult RunMethod(const std::string& name, const graph::Graph& g,
     } else if (name == "ALT-WP") {
       options.variant = core::AltVariant::kWithoutPropagation;
     }
+    const std::string trace_dir = TraceDir();
+    const std::string tag = SanitizeTag(g.name() + "_" + name);
+    if (!trace_dir.empty()) {
+      options.trace_path = trace_dir + "/" + tag + "_trace.json";
+    }
     compiled = core::Compile(g, machine, options);
+    if (!trace_dir.empty() && compiled.ok()) {
+      Status ws = WriteFile(trace_dir + "/" + tag + "_metrics.json",
+                            compiled->metrics.ToJson());
+      if (!ws.ok()) {
+        std::fprintf(stderr, "  [%s] metrics snapshot not written: %s\n", name.c_str(),
+                     ws.ToString().c_str());
+      }
+    }
   }
   if (!compiled.ok()) {
     std::fprintf(stderr, "  [%s] FAILED: %s\n", name.c_str(),

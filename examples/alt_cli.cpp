@@ -7,6 +7,10 @@
 //   machine: intel-cpu | nvidia-gpu | arm-cpu
 //   method:  alt | alt-ol | alt-wp | ansor | autotvm | flextensor | vendor
 //   budget:  measurement count (default 400)
+//
+// Telemetry (alt/alt-ol/alt-wp methods only):
+//   ALT_TRACE=<path>    write a Chrome trace of the run (chrome://tracing)
+//   ALT_METRICS=<path>  write the run's metrics snapshot as JSON
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +19,7 @@
 #include "src/baselines/baselines.h"
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
+#include "src/support/fileio.h"
 #include "src/support/string_util.h"
 
 namespace {
@@ -72,6 +77,9 @@ int main(int argc, char** argv) {
   } else {
     core::AltOptions options;
     options.budget = budget;
+    if (const char* trace = std::getenv("ALT_TRACE")) {
+      options.trace_path = trace;
+    }
     if (method == "alt-ol") {
       options.variant = core::AltVariant::kLoopOnly;
     } else if (method == "alt-wp") {
@@ -88,6 +96,14 @@ int main(int argc, char** argv) {
   }
 
   const auto& result = *compiled;
+  if (const char* metrics_path = std::getenv("ALT_METRICS")) {
+    Status ws = WriteFile(metrics_path, result.metrics.ToJson());
+    if (!ws.ok()) {
+      std::fprintf(stderr, "metrics snapshot not written: %s\n", ws.ToString().c_str());
+    } else {
+      std::printf("metrics snapshot written to %s\n", metrics_path);
+    }
+  }
   std::printf("\n=== compilation report ===\n");
   std::printf("estimated latency : %s\n", FormatMicros(result.perf.latency_us).c_str());
   std::printf("flops             : %.3g\n", result.perf.flops);

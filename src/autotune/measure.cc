@@ -9,6 +9,8 @@
 #include "src/ir/tensor.h"
 #include "src/loop/serialization.h"
 #include "src/support/crc32.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace alt::autotune {
 
@@ -48,6 +50,19 @@ void AppendOpKey(const graph::Graph& g, const graph::LayoutAssignment& la, int o
   oss << ";o" << ir::ShapeToString(g.tensor(op.output).shape) << "@"
       << loop::EncodeLayoutSeq(la.Get(op.output));
 }
+
+// Adds the lifetime of the enclosing scope (in nanoseconds) to `*sink`; used
+// to charge lower+estimate attempt time to cpu_ms without counting backoff
+// sleeps, whatever exit path the attempt takes.
+class NsAccumulator {
+ public:
+  explicit NsAccumulator(int64_t* sink) : sink_(sink), start_(TraceRecorder::NowNs()) {}
+  ~NsAccumulator() { *sink_ += TraceRecorder::NowNs() - start_; }
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
 
 int BackoffMs(const RetryPolicy& retry, int retry_number) {
   if (retry.backoff_base_ms <= 0) {
@@ -107,6 +122,8 @@ std::vector<MeasureResult> MeasureEngine::Measure(
     const graph::Graph& graph, const graph::LayoutAssignment& assignment,
     const loop::FusedGroup& group, const std::vector<loop::LoopSchedule>& schedules) {
   auto start = std::chrono::steady_clock::now();
+  TraceSpan batch_span("measure.batch");
+  const MeasureStats stats_before = stats_;
   const int n = static_cast<int>(schedules.size());
   std::vector<MeasureResult> results(n);
   stats_.requested += n;
@@ -187,10 +204,17 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   std::vector<int> slot_retries(w_count, 0);
   std::vector<int> slot_injected(w_count, 0);
   std::vector<double> slot_backoff(w_count, 0.0);
+  std::vector<int64_t> slot_cpu_ns(w_count, 0);
   std::vector<char> slot_done(w_count, 0);
   const int max_attempts = std::max(1, config_.retry.max_attempts);
+  Histogram& queue_wait_hist = MetricsRegistry::Global().histogram("measure.queue_wait_us");
+  Histogram& candidate_hist = MetricsRegistry::Global().histogram("measure.candidate_us");
+  const int64_t submit_ns = TraceRecorder::NowNs();
   Status pool_status = pool_.ParallelFor(w_count, [&](int w) {
     int i = work[w];
+    // Time from batch submission until a pool thread picked this slot up.
+    queue_wait_hist.Observe(static_cast<double>(TraceRecorder::NowNs() - submit_ns) * 1e-3);
+    TraceSpan candidate_span("measure.candidate");
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
         ++slot_retries[w];
@@ -200,6 +224,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
           std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }
       }
+      NsAccumulator attempt_timer(&slot_cpu_ns[w]);
       ++results[i].attempts;
       if (injector_.enabled() && injector_.ShouldFail(sites[i], attempt)) {
         ++slot_injected[w];
@@ -220,6 +245,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
         break;
       }
     }
+    candidate_hist.Observe(static_cast<double>(slot_cpu_ns[w]) * 1e-3);
     slot_done[w] = 1;
   });
 
@@ -235,6 +261,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
     stats_.retries += slot_retries[w];
     stats_.injected_failures += slot_injected[w];
     stats_.backoff_ms += slot_backoff[w];
+    stats_.cpu_ms += static_cast<double>(slot_cpu_ns[w]) * 1e-6;
     if (results[i].status.ok()) {
       ++stats_.measured;
       if (config_.cache_enabled) {
@@ -275,9 +302,32 @@ std::vector<MeasureResult> MeasureEngine::Measure(
     }
   }
 
+  // Batch wall time is charged exactly once, on the calling thread (see the
+  // wall_ms comment in measure.h: batches never overlap, so summing per-batch
+  // wall clocks cannot double-count).
   stats_.wall_ms +=
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // Mirror this batch's stats deltas into the global metrics registry so a
+  // MetricsSnapshot of a run always agrees with its MeasureStats.
+  auto& registry = MetricsRegistry::Global();
+  static Counter& c_requested = registry.counter("measure.requested");
+  static Counter& c_measured = registry.counter("measure.measured");
+  static Counter& c_cache_hits = registry.counter("measure.cache_hits");
+  static Counter& c_failed = registry.counter("measure.failed");
+  static Counter& c_replayed = registry.counter("measure.replayed");
+  static Counter& c_retries = registry.counter("measure.retries");
+  static Counter& c_quarantined = registry.counter("measure.quarantined");
+  static Counter& c_injected = registry.counter("measure.injected_failures");
+  c_requested.Add(stats_.requested - stats_before.requested);
+  c_measured.Add(stats_.measured - stats_before.measured);
+  c_cache_hits.Add(stats_.cache_hits - stats_before.cache_hits);
+  c_failed.Add(stats_.failed - stats_before.failed);
+  c_replayed.Add(stats_.replayed - stats_before.replayed);
+  c_retries.Add(stats_.retries - stats_before.retries);
+  c_quarantined.Add(stats_.quarantined - stats_before.quarantined);
+  c_injected.Add(stats_.injected_failures - stats_before.injected_failures);
   return results;
 }
 

@@ -69,7 +69,16 @@ struct MeasureStats {
   int64_t quarantined = 0; // distinct keys placed in quarantine
   int64_t injected_failures = 0;  // attempts failed by the FaultInjector
   double backoff_ms = 0.0;        // total retry backoff requested
-  double wall_ms = 0.0;           // wall-clock spent inside Measure() calls
+  // Wall-clock of Measure() calls, accounted ONCE PER BATCH on the calling
+  // thread. The engine's single-caller contract (ParallelFor is not
+  // reentrant) means batches never overlap, so this is the true elapsed time
+  // spent measuring; it is NOT the work performed — with N pool threads the
+  // batch does up to N x wall_ms of lowering+estimation.
+  double wall_ms = 0.0;
+  // Lower+estimate time summed over every attempt across all pool threads
+  // (the "CPU" view). cpu_ms / wall_ms approximates the parallel speedup;
+  // with one thread cpu_ms <= wall_ms.
+  double cpu_ms = 0.0;
 };
 
 struct MeasureResult {

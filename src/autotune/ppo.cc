@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/support/metrics.h"
 #include "src/support/status.h"
+#include "src/support/trace.h"
 
 namespace alt::autotune {
 
@@ -57,6 +59,11 @@ void PpoAgent::Reward(double reward) {
 }
 
 void PpoAgent::Update() {
+  TraceSpan span("ppo.update");
+  static Counter& updates = MetricsRegistry::Global().counter("ppo.updates");
+  static Histogram& update_us = MetricsRegistry::Global().histogram("ppo.update_us");
+  updates.Add();
+  const int64_t start_ns = TraceRecorder::NowNs();
   // Normalize rewards across the batch for a stable advantage scale.
   double mean_r = 0.0;
   for (const auto& t : buffer_) {
@@ -105,6 +112,7 @@ void PpoAgent::Update() {
     actor_.AdamStep(options_.actor_lr);
     critic_.AdamStep(options_.critic_lr);
   }
+  update_us.Observe(static_cast<double>(TraceRecorder::NowNs() - start_ns) * 1e-3);
 }
 
 std::vector<double> PpoAgent::Snapshot() const {

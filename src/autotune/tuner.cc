@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "src/graph/networks.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
+#include "src/support/trace.h"
 
 namespace alt::autotune {
 
@@ -35,6 +37,36 @@ MeasureEngineConfig EngineConfig(const TuningOptions& options) {
   return c;
 }
 
+// Owns the tracing session of one Tune() run when trace_path is set: starts
+// the global recorder on construction, stops it and writes the Chrome trace
+// on destruction — error returns included. A failed write only costs the
+// trace, never the tuning result.
+class TraceSessionGuard {
+ public:
+  explicit TraceSessionGuard(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+      TraceRecorder::Global().Start();
+    }
+  }
+  ~TraceSessionGuard() {
+    if (path_.empty()) {
+      return;
+    }
+    Status s = TraceRecorder::Global().StopAndWriteChromeTrace(path_);
+    if (!s.ok()) {
+      ALT_LOG(Warning) << "failed to write tuning trace " << path_ << ": " << s.message();
+    } else {
+      ALT_LOG(Info) << "wrote tuning trace to " << path_;
+    }
+  }
+
+  TraceSessionGuard(const TraceSessionGuard&) = delete;
+  TraceSessionGuard& operator=(const TraceSessionGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
 }  // namespace
 
 JointTuner::JointTuner(const Graph& graph, const sim::Machine& machine, TuningOptions options)
@@ -60,7 +92,19 @@ void JointTuner::RecordMeasurement(double latency_us, bool complex_group) {
   if (complex_group) {
     best_total_us_ = std::min(best_total_us_, latency_us);
   }
-  history_us_.push_back(best_total_us_);
+  // Until the first successful complex-group measurement there is no best to
+  // chart; appending would leak the kNoBest sentinel into history_us. The
+  // curve simply starts at the first complex success.
+  if (has_best()) {
+    history_us_.push_back(best_total_us_);
+  }
+}
+
+void JointTuner::BeginPhase(const char* phase) {
+  TraceInstant("tuner.phase", phase);
+  if (options_.event_sink != nullptr) {
+    options_.event_sink->OnPhase(phase);
+  }
 }
 
 MeasureResult JointTuner::MeasureGroup(const Graph& g, const LayoutAssignment& la,
@@ -104,6 +148,9 @@ std::vector<double> JointTuner::Features(const loop::LoopNestSignature& sig,
 void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
                                const FusedGroup& group,
                                const std::vector<double>& layout_state, LoopTuneState& state) {
+  TraceSpan span("tuner.loop_batch");
+  static Counter& batches = MetricsRegistry::Global().counter("tuner.loop_batches");
+  batches.Add();
   auto sig_or = loop::GroupSignature(g, la, group);
   if (!sig_or.ok()) {
     return;
@@ -167,7 +214,10 @@ void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
     cost_model_.Fit(train_x_, train_y_);
   }
   if (options_.event_sink != nullptr) {
-    options_.event_sink->OnBatchDone(measurements_, best_total_us_);
+    // "No result yet" is reported as NaN, never as the internal sentinel.
+    options_.event_sink->OnBatchDone(
+        measurements_,
+        has_best() ? best_total_us_ : std::numeric_limits<double>::quiet_NaN());
   }
 }
 
@@ -296,6 +346,7 @@ std::vector<DecodedLayouts> SeedLayouts(const Graph& g, const Op& op) {
 
 StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
                                                                  int op_budget) {
+  TraceSpan span("tuner.tune_op_layout", "op=" + std::to_string(op_id));
   const Op& op = graph_.op(op_id);
   auto space_or = LayoutSpace::ForOp(graph_, op_id, options_.two_level_templates);
   if (!space_or.ok()) {
@@ -461,6 +512,13 @@ void JointTuner::CommitLayouts(int op_id, const DecodedLayouts& layouts) {
 }
 
 StatusOr<CompiledNetwork> JointTuner::Tune() {
+  // Session-scoped telemetry: the trace guard owns the recorder (and writes
+  // the file on any exit path); the metrics snapshot anchors the per-run
+  // delta attached to the result.
+  TraceSessionGuard trace_session(options_.trace_path);
+  const MetricsSnapshot metrics_start = MetricsRegistry::Global().Snapshot();
+  TraceSpan tune_span("tuner.tune");
+
   if (!options_.tune_layout && options_.initial_assignment != nullptr) {
     assignment_ = *options_.initial_assignment;
   }
@@ -503,7 +561,9 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   }
 
   // --- joint stage ---
+  BeginPhase("joint");
   if (options_.tune_layout) {
+    TraceSpan joint_span("tuner.joint_stage");
     auto complex_ops = graph_.ComplexOps();
     if (options_.reverse_op_order) {
       std::reverse(complex_ops.begin(), complex_ops.end());
@@ -558,6 +618,9 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   }
 
   // --- loop-only stage ---
+  BeginPhase("loop");
+  std::optional<TraceSpan> loop_span;
+  loop_span.emplace("tuner.loop_stage");
   auto groups = loop::PartitionGraph(graph_, assignment_, true);
   std::vector<LoopTuneState> states(groups.size());
   std::vector<loop::LoopNestSignature> sigs(groups.size());
@@ -626,7 +689,11 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
     }
   }
 
+  loop_span.reset();
+
   // --- final lowering ---
+  BeginPhase("lower");
+  TraceSpan lowering_span("tuner.lowering");
   CompiledNetwork result;
   result.graph = graph_;
   result.assignment = assignment_;
@@ -650,6 +717,7 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   result.measurements_used = measurements_;
   result.history_us = history_us_;
   result.measure_stats = engine_.stats();
+  result.metrics = MetricsRegistry::Global().Snapshot().DeltaSince(metrics_start);
   const MeasureStats& ms = result.measure_stats;
   ALT_LOG(Info) << "measure engine: " << ms.requested << " candidates, " << ms.measured
                 << " measured, " << ms.cache_hits << " cache hits, " << ms.replayed

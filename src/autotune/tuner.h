@@ -30,6 +30,7 @@
 #include "src/graph/layout_assignment.h"
 #include "src/loop/lowering.h"
 #include "src/sim/perf_model.h"
+#include "src/support/metrics.h"
 
 namespace alt::autotune {
 
@@ -51,8 +52,14 @@ class TuningEventSink {
   virtual void OnLayoutCommitted(int op_id, const DecodedLayouts& layouts,
                                  const loop::LoopSchedule* best_schedule) = 0;
   // A loop-tuning batch finished: `spent` measurements consumed so far,
-  // `best_us` best complex-group latency so far.
+  // `best_us` best complex-group latency so far. Before the first successful
+  // complex-group measurement there is no best; `best_us` is then NaN ("no
+  // result yet") — the 1e30 internal sentinel is never reported.
   virtual void OnBatchDone(int spent, double best_us) = 0;
+  // The tuner entered a new phase ("joint", "loop", "lower"). Called once per
+  // phase in order; phases that have nothing to do are still announced.
+  // Default is a no-op so existing sinks keep compiling unchanged.
+  virtual void OnPhase(const std::string& phase) { (void)phase; }
 };
 
 // How a complex op's tuned input layout is satisfied when its producer is
@@ -109,6 +116,14 @@ struct TuningOptions {
   const MeasureReplayLog* measure_replay = nullptr;
   TuningEventSink* event_sink = nullptr;
 
+  // When non-empty, Tune() records a span trace of the whole run (tuner
+  // phases, loop batches, measurement batches and candidates, PPO updates,
+  // journal writes) and writes it to this path as Chrome trace-event JSON.
+  // Tracing owns the global TraceRecorder for the duration of the run, so
+  // only one traced tuner may run at a time; with the path empty the
+  // instrumentation costs <1% (see bench_tuner_throughput).
+  std::string trace_path;
+
   uint64_t seed = 1;
   const std::vector<double>* pretrained_agent = nullptr;  // PPO snapshot
   // When layout tuning is off, start from these layouts instead of
@@ -125,9 +140,16 @@ struct CompiledNetwork {
   sim::PerfCounters perf;
   int measurements_used = 0;
   // Best latency discovered after each measurement (tuning curve, Fig. 11).
+  // Starts at the first SUCCESSFUL complex-group measurement — the curve is
+  // empty until one exists, never padded with a sentinel — and is monotone
+  // non-increasing from there.
   std::vector<double> history_us;
   // Measurement-engine counters for this run (cache hits, wall time, ...).
   MeasureStats measure_stats;
+  // Per-run delta of the global metrics registry (counters + latency
+  // histograms; see support/metrics.h). The measure.* counters equal the
+  // fields of `measure_stats` above.
+  MetricsSnapshot metrics;
 };
 
 class JointTuner {
@@ -166,6 +188,16 @@ class JointTuner {
 
   void RecordMeasurement(double latency_us, bool complex_group);
 
+  // True once a complex-group measurement has succeeded; before that,
+  // best_total_us_ still holds the kNoBest sentinel, which must never leak
+  // into history_us_ or event sinks.
+  bool has_best() const { return best_total_us_ < kNoBest; }
+
+  // Announces a tuner phase to the trace and the event sink.
+  void BeginPhase(const char* phase);
+
+  static constexpr double kNoBest = 1e30;
+
   graph::Graph graph_;
   const sim::Machine& machine_;
   TuningOptions options_;
@@ -177,7 +209,7 @@ class JointTuner {
   std::vector<std::vector<double>> train_x_;
   std::vector<double> train_y_;
   int measurements_ = 0;
-  double best_total_us_ = 1e30;
+  double best_total_us_ = kNoBest;
   std::vector<double> history_us_;
   // Best loop schedule found while assessing the committed layout of each
   // complex op (joint stage); seeds the loop-only stage.

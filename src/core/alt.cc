@@ -40,6 +40,7 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   tuning.measure_cache = options.measure_cache;
   tuning.fault_injection = options.fault_injection;
   tuning.measure_retry = options.measure_retry;
+  tuning.trace_path = options.trace_path;
   switch (options.variant) {
     case AltVariant::kFull:
       break;

@@ -38,6 +38,10 @@ struct AltOptions {
   // measurement failures and the retry policy that absorbs them.
   FaultInjector::Options fault_injection;
   autotune::RetryPolicy measure_retry;
+  // When non-empty, the run records a span trace (tuner phases, measurement
+  // batches, PPO updates, journal writes) and writes it to this path as
+  // Chrome trace-event JSON (see autotune::TuningOptions::trace_path).
+  std::string trace_path;
 };
 
 // Maps the facade options onto the tuner's options (variant selection, shared

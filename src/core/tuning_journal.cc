@@ -11,6 +11,8 @@
 #include "src/loop/serialization.h"
 #include "src/support/crc32.h"
 #include "src/support/logging.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace alt::core {
 
@@ -112,6 +114,10 @@ bool ApplyPayload(const std::string& payload, bool first, TuningJournalContents*
   }
   if (ConsumePrefix(&s, "commit ")) {
     ++out->commit_lines;  // informational; replay does not need the fields
+    return true;
+  }
+  if (ConsumePrefix(&s, "phase ")) {
+    ++out->phase_lines;  // informational; replay does not need the name
     return true;
   }
   if (ConsumePrefix(&s, "batch spent=")) {
@@ -217,7 +223,20 @@ void TuningJournalWriter::Append(const std::string& payload) {
   if (!status_.ok()) {
     return;  // sticky failure: journal is dead, tuning proceeds unjournaled
   }
-  status_ = writer_.AppendLine(Frame(payload));
+  const std::string framed = Frame(payload);
+  // AppendLine write+flushes, so this histogram is the per-record durability
+  // cost — the journal's share of tuning wall time (bench_tuning_resume
+  // budgets it at <2%).
+  static Counter& lines = MetricsRegistry::Global().counter("journal.lines");
+  static Counter& bytes = MetricsRegistry::Global().counter("journal.bytes");
+  static Histogram& append_us = MetricsRegistry::Global().histogram("journal.append_us");
+  const int64_t start_ns = TraceRecorder::NowNs();
+  status_ = writer_.AppendLine(framed);
+  append_us.Observe(static_cast<double>(TraceRecorder::NowNs() - start_ns) * 1e-3);
+  if (status_.ok()) {
+    lines.Add();
+    bytes.Add(static_cast<int64_t>(framed.size()) + 1);  // +1: newline
+  }
 }
 
 void TuningJournalWriter::OnMeasured(const std::string& key,
@@ -244,6 +263,8 @@ void TuningJournalWriter::OnLayoutCommitted(int op_id,
 void TuningJournalWriter::OnBatchDone(int spent, double best_us) {
   Append("batch spent=" + std::to_string(spent) + " best=" + FormatDouble(best_us));
 }
+
+void TuningJournalWriter::OnPhase(const std::string& phase) { Append("phase " + phase); }
 
 StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
                                                        const sim::Machine& machine,

@@ -25,14 +25,18 @@
 //   measure <site-hex-16> fail                persistent measurement failure
 //   commit <op>|<out>|<in>|<weight>|<sched>   joint stage committed layouts
 //   batch spent=<n> best=<%.17g>              loop-batch progress marker
+//   phase <name>                              tuner phase marker (joint/...)
+//
+// A batch line written before any successful complex-group measurement
+// carries best=nan ("no result yet"); the tuner never reports its internal
+// 1e30 sentinel. Commit, batch, and phase lines are informational — replay
+// correctness needs only the measure lines.
 //
 // `site` is Fnv1a64 of the full measurement cache key; `%.17g` round-trips
 // doubles bit-exactly. The writer flushes after every line, so on a crash the
 // file is a valid journal plus at most one torn final line. The reader stops
 // at the first line whose checksum (or framing) fails and reports the number
 // of valid bytes; resume truncates the file to that prefix before appending.
-// Commit and batch lines are informational (progress reporting, debugging) —
-// replay correctness needs only the measure lines.
 
 #ifndef ALT_CORE_TUNING_JOURNAL_H_
 #define ALT_CORE_TUNING_JOURNAL_H_
@@ -53,6 +57,7 @@ struct TuningJournalContents {
   int64_t measure_lines = 0;
   int64_t commit_lines = 0;
   int64_t batch_lines = 0;
+  int64_t phase_lines = 0;
   int last_spent = 0;        // from the last batch line
   double last_best_us = 0;   // from the last batch line
   int64_t valid_bytes = 0;   // prefix that parsed and checksummed cleanly
@@ -89,6 +94,7 @@ class TuningJournalWriter : public autotune::TuningEventSink {
   void OnLayoutCommitted(int op_id, const autotune::DecodedLayouts& layouts,
                          const loop::LoopSchedule* best_schedule) override;
   void OnBatchDone(int spent, double best_us) override;
+  void OnPhase(const std::string& phase) override;
 
   // First write error, if any. Ok while everything has been durably written.
   const Status& status() const { return status_; }

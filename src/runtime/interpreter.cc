@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "src/ir/eval.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace alt::runtime {
 
@@ -258,6 +260,9 @@ void ExecNode(const PlanNode& node, int64_t* env, ExecContext& ctx) {
 }  // namespace
 
 Status Execute(const ir::Program& program, BufferStore& store) {
+  TraceSpan span("interp.execute");
+  static Counter& executions = MetricsRegistry::Global().counter("interp.programs");
+  executions.Add();
   // Allocate / validate buffers.
   for (const auto& decl : program.buffers) {
     int64_t n = decl.tensor.NumElements();

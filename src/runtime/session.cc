@@ -1,6 +1,7 @@
 #include "src/runtime/session.h"
 
 #include "src/support/logging.h"
+#include "src/support/trace.h"
 
 namespace alt::runtime {
 
@@ -8,6 +9,7 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
                                                const graph::LayoutAssignment& assignment,
                                                const loop::LoweredNetwork& net,
                                                const TensorDataMap& canonical_data) {
+  TraceSpan session_span("session.run");
   // An empty lowering is invalid: fail fast, before physicalizing inputs and
   // executing programs (and before net.groups.back() below would be UB).
   if (net.groups.empty()) {
@@ -72,6 +74,7 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
     }
   }
   for (const auto& program : net.programs) {
+    TraceSpan program_span("session.program");
     ALT_RETURN_IF_ERROR(Execute(program, store));
   }
   int out_id = net.groups.back().OutputTensor(graph);

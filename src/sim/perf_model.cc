@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/support/metrics.h"
+
 #include "src/ir/eval.h"
 
 namespace alt::sim {
@@ -194,6 +196,10 @@ FootprintResult Footprint(const LeafInfo& leaf, const AccessInfo& access, size_t
 }  // namespace
 
 PerfCounters EstimateProgram(const ir::Program& program, const Machine& machine) {
+  // Hottest call in a tuning run (once per candidate schedule); the counter
+  // is one relaxed atomic add, cheap enough to keep always-on.
+  static Counter& calls = MetricsRegistry::Global().counter("sim.estimate_program_calls");
+  calls.Add();
   PerfCounters out;
   if (!program.root) {
     return out;

@@ -1,0 +1,161 @@
+#include "src/support/trace.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "src/support/fileio.h"
+
+namespace alt {
+
+namespace {
+
+// Escapes a string for embedding inside a JSON string literal. Site names are
+// plain identifiers, but detail strings may carry serialized schedules or
+// layout descriptions with arbitrary punctuation.
+void AppendJsonEscaped(const std::string& s, std::ostringstream& oss) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        oss << "\\\"";
+        break;
+      case '\\':
+        oss << "\\\\";
+        break;
+      case '\n':
+        oss << "\\n";
+        break;
+      case '\t':
+        oss << "\\t";
+        break;
+      case '\r':
+        oss << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  epoch_ns_.store(NowNs(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() { enabled_.store(false, std::memory_order_release); }
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  // Buffers are never removed from `buffers_`, so the cached raw pointer
+  // stays valid for the life of the process even across Start() calls.
+  thread_local ThreadBuffer* local = nullptr;
+  if (local == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    local = buffers_.back().get();
+    local->tid = static_cast<int>(buffers_.size());
+  }
+  return *local;
+}
+
+void TraceRecorder::Record(const char* name, std::string detail, int64_t start_ns,
+                           int64_t end_ns, bool instant) {
+  if (!enabled()) {
+    return;  // stopped between span construction and destruction: drop
+  }
+  int64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  if (start_ns < epoch) {
+    return;  // span straddles a Start(): its beginning was cleared away
+  }
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = name;
+  event.detail = std::move(detail);
+  event.ts_us = static_cast<double>(start_ns - epoch) * 1e-3;
+  event.dur_us = static_cast<double>(end_ns - start_ns) * 1e-3;
+  event.tid = buffer.tid;
+  event.instant = instant;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::StopAndDrain() {
+  Stop();
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (auto& event : buffer->events) {
+      all.push_back(std::move(event));
+    }
+    buffer->events.clear();
+  }
+  return all;
+}
+
+int TraceRecorder::thread_buffer_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return static_cast<int>(buffers_.size());
+}
+
+Status TraceRecorder::StopAndWriteChromeTrace(const std::string& path) {
+  return WriteChromeTrace(StopAndDrain(), path);
+}
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events, const std::string& path) {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& event : events) {
+    if (!first) {
+      oss << ",";
+    }
+    first = false;
+    oss << "{\"name\":\"";
+    AppendJsonEscaped(event.name, oss);
+    oss << "\",\"cat\":\"alt\",\"ph\":\"" << (event.instant ? "i" : "X") << "\",\"ts\":";
+    char num[40];
+    std::snprintf(num, sizeof(num), "%.3f", event.ts_us);
+    oss << num;
+    if (!event.instant) {
+      std::snprintf(num, sizeof(num), "%.3f", event.dur_us);
+      oss << ",\"dur\":" << num;
+    } else {
+      oss << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    oss << ",\"pid\":1,\"tid\":" << event.tid;
+    if (!event.detail.empty()) {
+      oss << ",\"args\":{\"detail\":\"";
+      AppendJsonEscaped(event.detail, oss);
+      oss << "\"}";
+    }
+    oss << "}";
+  }
+  oss << "],\"displayTimeUnit\":\"ms\"}\n";
+  return WriteFile(path, oss.str());
+}
+
+}  // namespace alt

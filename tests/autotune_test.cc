@@ -14,6 +14,8 @@
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
 #include "src/runtime/session.h"
+#include "src/support/fileio.h"
+#include "src/support/trace.h"
 
 namespace alt {
 namespace {
@@ -194,7 +196,7 @@ TEST(JointTuner, JointBeatsLoopOnly) {
   EXPECT_LE(alt->perf.latency_us, alt_ol->perf.latency_us * 1.10);
 }
 
-TEST(JointTuner, HistoryIsMonotoneNonIncreasing) {
+TEST(JointTuner, HistoryIsSentinelFreeAndMonotoneNonIncreasing) {
   graph::Graph g = SmallConvGraph();
   core::AltOptions options;
   options.budget = 120;
@@ -202,9 +204,115 @@ TEST(JointTuner, HistoryIsMonotoneNonIncreasing) {
   auto result = core::Compile(g, sim::Machine::ArmCpu(), options);
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->history_us.empty());
-  for (size_t i = 1; i < result->history_us.size(); ++i) {
-    EXPECT_LE(result->history_us[i], result->history_us[i - 1]);
+  for (size_t i = 0; i < result->history_us.size(); ++i) {
+    // The curve starts at the first successful measurement: every entry is a
+    // real latency, never the tuner's internal "no best yet" sentinel.
+    EXPECT_LT(result->history_us[i], 1e29) << "sentinel leaked at " << i;
+    EXPECT_GT(result->history_us[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(result->history_us[i], result->history_us[i - 1]);
+    }
   }
+}
+
+// Records everything the tuner announces through the event-sink interface.
+struct RecordingSink : autotune::TuningEventSink {
+  std::vector<std::string> phases;
+  std::vector<double> batch_bests;
+  void OnMeasured(const std::string&, const autotune::MeasureResult&) override {}
+  void OnLayoutCommitted(int, const autotune::DecodedLayouts&,
+                         const loop::LoopSchedule*) override {}
+  void OnBatchDone(int, double best_us) override { batch_bests.push_back(best_us); }
+  void OnPhase(const std::string& phase) override { phases.push_back(phase); }
+};
+
+TEST(JointTuner, SinkSeesOrderedPhasesAndNoSentinel) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options;
+  options.budget = 120;
+  options.method = autotune::SearchMethod::kRandom;
+
+  RecordingSink sink;
+  autotune::TuningOptions tuning = core::ToTuningOptions(options, machine);
+  tuning.event_sink = &sink;
+  autotune::JointTuner tuner(g, machine, tuning);
+  auto result = tuner.Tune();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(sink.phases, (std::vector<std::string>{"joint", "loop", "lower"}));
+  ASSERT_FALSE(sink.batch_bests.empty());
+  for (double best : sink.batch_bests) {
+    // "No result yet" is NaN; anything else is a real latency. The 1e30
+    // internal sentinel must never cross the sink interface.
+    if (!std::isnan(best)) {
+      EXPECT_LT(best, 1e29);
+      EXPECT_GT(best, 0.0);
+    }
+  }
+}
+
+TEST(JointTuner, AllFailingMeasurementsReportNaNNeverSentinel) {
+  // Every measurement attempt fails, so a best latency never exists: the
+  // tuning curve must stay empty and every batch report NaN — the pre-fix
+  // behavior pushed 1e30 into both.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options;
+  options.budget = 60;
+  options.method = autotune::SearchMethod::kRandom;
+  options.fault_injection.always_fail_first = 1000;  // beyond any retry count
+  options.measure_retry.max_attempts = 1;
+
+  RecordingSink sink;
+  autotune::TuningOptions tuning = core::ToTuningOptions(options, machine);
+  tuning.event_sink = &sink;
+  autotune::JointTuner tuner(g, machine, tuning);
+  auto result = tuner.Tune();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(result->history_us.empty());
+  ASSERT_FALSE(sink.batch_bests.empty());
+  for (double best : sink.batch_bests) {
+    EXPECT_TRUE(std::isnan(best)) << "reported " << best << " with no successful measurement";
+  }
+}
+
+TEST(JointTuner, TracedRunWritesChromeTraceAndMatchingMetrics) {
+  graph::Graph g = SmallConvGraph();
+  core::AltOptions options;
+  options.budget = 120;
+  options.method = autotune::SearchMethod::kRandom;
+  const std::string trace_path = ::testing::TempDir() + "tuner_trace_test.json";
+  RemoveFile(trace_path);
+  options.trace_path = trace_path;
+
+  auto result = core::Compile(g, sim::Machine::IntelCpu(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto trace = ReadFile(trace_path);
+  ASSERT_TRUE(trace.ok()) << "trace file missing: " << trace.status().ToString();
+  EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+  for (const char* span : {"tuner.tune", "tuner.joint_stage", "tuner.loop_stage",
+                           "measure.batch", "measure.candidate"}) {
+    EXPECT_NE(trace->find(std::string("\"") + span + "\""), std::string::npos)
+        << "trace is missing span " << span;
+  }
+  RemoveFile(trace_path);
+
+  // The per-run metrics snapshot rides on the result and agrees with the
+  // engine's counters.
+  EXPECT_EQ(result->metrics.counter("measure.requested"), result->measure_stats.requested);
+  EXPECT_EQ(result->metrics.counter("measure.measured"), result->measure_stats.measured);
+  EXPECT_GT(result->metrics.counter("sim.estimate_program_calls"), 0);
+  EXPECT_GT(result->metrics.counter("tuner.loop_batches"), 0);
+
+  // The recorder is session-scoped: a later untraced compile records nothing.
+  core::AltOptions untraced = options;
+  untraced.trace_path.clear();
+  auto again = core::Compile(g, sim::Machine::IntelCpu(), untraced);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
 }
 
 TEST(JointTuner, BudgetIsRespected) {

@@ -367,5 +367,97 @@ TEST(MeasureEngine, ReplayedFailureQuarantines) {
   EXPECT_EQ(engine.quarantine_size(), 1);  // stays failed on revisit, no re-measure
 }
 
+// Every batch must account for every requested candidate exactly once:
+// requested == measured + cache_hits + failed + replayed.
+void ExpectStatsInvariant(const autotune::MeasureStats& s) {
+  EXPECT_EQ(s.requested, s.measured + s.cache_hits + s.failed + s.replayed)
+      << "requested=" << s.requested << " measured=" << s.measured
+      << " cache_hits=" << s.cache_hits << " failed=" << s.failed
+      << " replayed=" << s.replayed;
+}
+
+TEST(MeasureEngine, StatsInvariantHoldsAcrossConfigurations) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  for (int threads : {1, 4}) {
+    for (bool cache : {false, true}) {
+      for (bool faults : {false, true}) {
+        core::AltOptions options = BaseOptions();
+        options.measure_threads = threads;
+        options.measure_cache = cache;
+        if (faults) {
+          options.fault_injection.always_fail_first = 1;
+          options.measure_retry.max_attempts = 3;
+        }
+        auto result = core::Compile(g, machine, options);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        const autotune::MeasureStats& s = result->measure_stats;
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " cache=" + std::to_string(cache) + " faults=" + std::to_string(faults));
+        ExpectStatsInvariant(s);
+        EXPECT_GT(s.requested, 0);
+      }
+    }
+  }
+}
+
+TEST(MeasureEngine, WallTimeIsPerBatchAndCpuTimeIsPerAttempt) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+
+  // Single-threaded: attempt time is a subset of the batch wall interval on
+  // the same clock, so cpu_ms can never exceed wall_ms.
+  core::AltOptions one = BaseOptions();
+  one.measure_threads = 1;
+  auto r1 = core::Compile(g, machine, one);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1->measure_stats.wall_ms, 0.0);
+  EXPECT_GT(r1->measure_stats.cpu_ms, 0.0);
+  EXPECT_LE(r1->measure_stats.cpu_ms, r1->measure_stats.wall_ms);
+
+  // Parallel: wall_ms is charged once per batch on the calling thread. The
+  // elapsed batch interval is (serial bookkeeping + the parallel span), and
+  // the parallel span is itself covered by attempt time on some thread, so
+  // wall can exceed cpu only by the serial bookkeeping — never by a
+  // per-thread multiple, which is what double-counted accounting produced.
+  core::AltOptions four = BaseOptions();
+  four.measure_threads = 4;
+  auto r4 = core::Compile(g, machine, four);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_GT(r4->measure_stats.wall_ms, 0.0);
+  EXPECT_LE(r4->measure_stats.wall_ms, r4->measure_stats.cpu_ms + 100.0);
+  ExpectStatsInvariant(r4->measure_stats);
+}
+
+TEST(MeasureEngine, MetricsSnapshotMirrorsMeasureStats) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  options.fault_injection.always_fail_first = 1;  // exercise the retry counters too
+  options.measure_retry.max_attempts = 3;
+  auto result = core::Compile(g, machine, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The per-run metrics delta attached to the result must agree exactly with
+  // the engine's own counters — one source of truth, two views.
+  const autotune::MeasureStats& s = result->measure_stats;
+  const MetricsSnapshot& m = result->metrics;
+  EXPECT_EQ(m.counter("measure.requested"), s.requested);
+  EXPECT_EQ(m.counter("measure.measured"), s.measured);
+  EXPECT_EQ(m.counter("measure.cache_hits"), s.cache_hits);
+  EXPECT_EQ(m.counter("measure.failed"), s.failed);
+  EXPECT_EQ(m.counter("measure.replayed"), s.replayed);
+  EXPECT_EQ(m.counter("measure.retries"), s.retries);
+  EXPECT_EQ(m.counter("measure.quarantined"), s.quarantined);
+  EXPECT_EQ(m.counter("measure.injected_failures"), s.injected_failures);
+  // One latency sample per pool slot that actually did work. In this
+  // configuration every slot succeeds (after its injected-failure retry) and
+  // nothing quarantines, so slots == measured exactly.
+  EXPECT_EQ(s.failed, 0);
+  const HistogramSnapshot* candidate = m.histogram("measure.candidate_us");
+  ASSERT_NE(candidate, nullptr);
+  EXPECT_EQ(candidate->count, s.measured);
+}
+
 }  // namespace
 }  // namespace alt

@@ -1,4 +1,7 @@
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -8,10 +11,12 @@
 #include "src/support/crc32.h"
 #include "src/support/fault_injection.h"
 #include "src/support/fileio.h"
+#include "src/support/metrics.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/string_util.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace alt {
 namespace {
@@ -314,6 +319,263 @@ TEST(FaultInjectorTest, AlwaysFailFirstOverridesRate) {
     EXPECT_TRUE(injector.ShouldFail(site, 1));
     EXPECT_FALSE(injector.ShouldFail(site, 2));  // rate 0: retries succeed
   }
+}
+
+// Structural JSON validation without a JSON library: tracks brace/bracket
+// balance outside string literals (honoring escapes). Catches the failure
+// modes a serializer can actually produce — unbalanced nesting, unterminated
+// strings, raw control characters — without re-implementing a parser.
+bool IsStructurallyValidJson(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // control characters must be escaped inside strings
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothingAndRegistersNoBuffers) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Stop();
+  recorder.StopAndDrain();  // clear anything a prior test left behind
+  const int buffers_before = recorder.thread_buffer_count();
+  ThreadPool pool(4);  // fresh threads: any buffer they register is new
+  Status s = pool.ParallelFor(64, [&](int i) {
+    TraceSpan span("test.disabled_span");
+    TraceSpan detail("test.disabled_detail", "i=" + std::to_string(i));
+    TraceInstant("test.disabled_instant");
+  });
+  ASSERT_TRUE(s.ok());
+  // Disabled spans never reach the recorder: no per-thread buffer is
+  // registered and nothing is drained.
+  EXPECT_EQ(recorder.thread_buffer_count(), buffers_before);
+  EXPECT_TRUE(recorder.StopAndDrain().empty());
+}
+
+TEST(TraceTest, ConcurrentSpansNestStrictlyAndSerializeToValidJson) {
+  constexpr int kTasks = 64;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceSpan outer("test.outer");
+    ThreadPool pool(4);
+    Status s = pool.ParallelFor(kTasks, [&](int i) {
+      TraceSpan work("test.work", "i=" + std::to_string(i));
+      {
+        TraceSpan inner("test.inner");
+        // A little real work so spans have nonzero extent.
+        volatile double sink = 0.0;
+        for (int k = 0; k < 500; ++k) {
+          sink = sink + k * 0.5;
+        }
+      }
+      TraceInstant("test.mark");
+    });
+    ASSERT_TRUE(s.ok());
+  }
+  std::vector<TraceEvent> events = recorder.StopAndDrain();
+
+  int outer_n = 0, work_n = 0, inner_n = 0, mark_n = 0;
+  for (const auto& e : events) {
+    std::string name = e.name;
+    outer_n += name == "test.outer";
+    work_n += name == "test.work";
+    inner_n += name == "test.inner";
+    mark_n += name == "test.mark";
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+    if (e.instant) {
+      EXPECT_EQ(e.dur_us, 0.0);
+    }
+  }
+  EXPECT_EQ(outer_n, 1);
+  EXPECT_EQ(work_n, kTasks);
+  EXPECT_EQ(inner_n, kTasks);
+  EXPECT_EQ(mark_n, kTasks);
+
+  // Within one thread, RAII spans close in LIFO order, so any two spans on
+  // the same tid are either disjoint or properly nested — never partially
+  // overlapping.
+  for (size_t a = 0; a < events.size(); ++a) {
+    for (size_t b = a + 1; b < events.size(); ++b) {
+      const TraceEvent& x = events[a];
+      const TraceEvent& y = events[b];
+      if (x.tid != y.tid || x.instant || y.instant) {
+        continue;
+      }
+      double x0 = x.ts_us, x1 = x.ts_us + x.dur_us;
+      double y0 = y.ts_us, y1 = y.ts_us + y.dur_us;
+      bool disjoint = x1 <= y0 || y1 <= x0;
+      bool x_contains_y = x0 <= y0 && y1 <= x1;
+      bool y_contains_x = y0 <= x0 && x1 <= y1;
+      ASSERT_TRUE(disjoint || x_contains_y || y_contains_x)
+          << x.name << " [" << x0 << "," << x1 << ") and " << y.name << " [" << y0 << ","
+          << y1 << ") partially overlap on tid " << x.tid;
+    }
+  }
+
+  std::string path = ::testing::TempDir() + "trace_nesting_test.json";
+  ASSERT_TRUE(WriteChromeTrace(events, path).ok());
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(IsStructurallyValidJson(*data));
+  EXPECT_NE(data->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(data->find("\"test.work\""), std::string::npos);
+  EXPECT_NE(data->find("\"ph\":\"i\""), std::string::npos);  // the instants
+  RemoveFile(path);
+}
+
+TEST(TraceTest, SpansOpenAcrossStopAreDroppedNotTruncated) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  auto open_span = std::make_unique<TraceSpan>("test.open_across_stop");
+  std::vector<TraceEvent> events = recorder.StopAndDrain();
+  EXPECT_TRUE(events.empty());  // the span had not completed when we stopped
+  open_span.reset();            // destructor fires after Stop(): dropped
+  EXPECT_TRUE(recorder.StopAndDrain().empty());
+}
+
+TEST(TraceTest, DetailStringsAreJsonEscaped) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  TraceInstant("test.escape", "quote=\" backslash=\\ newline=\n tab=\t");
+  std::vector<TraceEvent> events = recorder.StopAndDrain();
+  ASSERT_EQ(events.size(), 1u);
+  std::string path = ::testing::TempDir() + "trace_escape_test.json";
+  ASSERT_TRUE(WriteChromeTrace(events, path).ok());
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(IsStructurallyValidJson(*data));
+  RemoveFile(path);
+}
+
+TEST(MetricsTest, CounterCountsPastInt32Range) {
+  Counter c;
+  const int64_t big = int64_t{3} << 30;  // ~3.2e9, already past INT32_MAX
+  c.Add(big);
+  c.Add(big);
+  EXPECT_EQ(c.value(), 2 * big);  // no truncation or saturation at 2^31
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, HistogramPercentilesAreWithinOneBucketOfExact) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_NEAR(h.sum(), 1000.0 * 1001.0 / 2.0, 1e-6);
+  EXPECT_EQ(h.max(), 1000.0);
+  // Buckets grow by 2^(1/4) ~ 1.19x, and a percentile reports the upper
+  // bound of the bucket holding the rank: the answer is never below the
+  // exact value and at most ~19% above it.
+  const double kBucketRatio = std::exp2(1.0 / Histogram::kSubBuckets);
+  EXPECT_GE(h.Percentile(50), 500.0);
+  EXPECT_LE(h.Percentile(50), 500.0 * kBucketRatio * 1.01);
+  EXPECT_GE(h.Percentile(95), 950.0);
+  EXPECT_LE(h.Percentile(95), 950.0 * kBucketRatio * 1.01);
+  EXPECT_GE(h.Percentile(99), 990.0);
+  EXPECT_LE(h.Percentile(99), 990.0 * kBucketRatio * 1.01);
+  // Degenerate ranks stay in range.
+  EXPECT_GE(h.Percentile(0), 1.0);
+  EXPECT_LE(h.Percentile(100), 1000.0 * kBucketRatio * 1.01);
+}
+
+TEST(MetricsTest, HistogramAbsorbsHostileValues) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(-5.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(1e300);  // far past the covered range: clamps to the last bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_TRUE(std::isfinite(h.Percentile(99)));
+}
+
+TEST(MetricsTest, ObserveIsThreadSafe) {
+  Histogram& h = MetricsRegistry::Global().histogram("test.concurrent_hist");
+  Counter& c = MetricsRegistry::Global().counter("test.concurrent_counter");
+  const int64_t count_before = h.count();
+  const int64_t value_before = c.value();
+  ThreadPool pool(4);
+  ASSERT_TRUE(pool.ParallelFor(1000, [&](int i) {
+                    h.Observe(static_cast<double>(i % 97) + 1.0);
+                    c.Add();
+                  })
+                  .ok());
+  EXPECT_EQ(h.count() - count_before, 1000);
+  EXPECT_EQ(c.value() - value_before, 1000);
+}
+
+TEST(MetricsTest, SnapshotDeltaIsolatesARun) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& c = registry.counter("test.delta_counter");
+  Histogram& h = registry.histogram("test.delta_hist");
+  c.Add(5);
+  h.Observe(10.0);  // pre-run noise the delta must subtract away
+
+  MetricsSnapshot before = registry.Snapshot();
+  c.Add(7);
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(1000.0);
+  }
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counter("test.delta_counter"), 7);
+  EXPECT_EQ(delta.counter("test.never_created"), 0);
+  const HistogramSnapshot* hs = delta.histogram("test.delta_hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 100);
+  EXPECT_NEAR(hs->sum, 100 * 1000.0, 1e-6);
+  // Percentiles are recomputed from the delta buckets: the pre-run 10.0
+  // observation must not drag p50 down.
+  EXPECT_GE(hs->p50, 1000.0);
+  EXPECT_LE(hs->p50, 1000.0 * 1.2);
+}
+
+TEST(MetricsTest, SnapshotJsonIsStructurallyValid) {
+  auto& registry = MetricsRegistry::Global();
+  registry.counter("test.json_counter").Add(3);
+  registry.histogram("test.json_hist").Observe(42.0);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_TRUE(IsStructurallyValidJson(json));
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "src/core/tuning_journal.h"
@@ -82,6 +84,42 @@ TEST(TuningJournal, JournalRoundTrip) {
   EXPECT_GT(contents->batch_lines, 0);
   EXPECT_EQ(contents->discarded_bytes, 0);
   EXPECT_EQ(static_cast<int64_t>(contents->replay.ok.size()), result->measure_stats.measured);
+}
+
+TEST(TuningJournal, PhaseAndNanBatchLinesRoundTrip) {
+  std::string path = TempPath("journal_phase_nan.altj");
+  auto writer = core::TuningJournalWriter::Open(path, 0x1234, /*write_header=*/true);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  writer->OnPhase("joint");
+  // Before the first successful complex-group measurement the tuner reports
+  // "no best yet" as NaN; the journal must round-trip it, not reject it.
+  writer->OnBatchDone(0, std::numeric_limits<double>::quiet_NaN());
+  writer->OnPhase("loop");
+  ASSERT_TRUE(writer->status().ok());
+
+  auto contents = core::LoadTuningJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->phase_lines, 2);
+  EXPECT_EQ(contents->batch_lines, 1);
+  EXPECT_TRUE(std::isnan(contents->last_best_us));
+  EXPECT_EQ(contents->discarded_bytes, 0);  // every line parses cleanly
+}
+
+TEST(TuningJournal, JournaledRunRecordsAllThreePhases) {
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+  std::string path = TempPath("journal_phases.altj");
+
+  auto result = core::CompileWithJournal(g, machine, options, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto contents = core::LoadTuningJournal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->phase_lines, 3);  // joint, loop, lower
+  // The sentinel-leak fix end to end: no journaled batch line ever carries
+  // the 1e30 "no best yet" internal value.
+  EXPECT_TRUE(std::isnan(contents->last_best_us) || contents->last_best_us < 1e29);
 }
 
 TEST(TuningJournal, JournalingIsObservationOnly) {
