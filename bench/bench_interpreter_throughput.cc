@@ -1,0 +1,321 @@
+// Interpreter throughput: affine execution engine vs the generic tree-walking
+// fallback on conv2d and GMM programs under several layouts (including the
+// pad-guard and unfold templates that stress guard splitting and the bytecode
+// fallback).
+//
+//   ./build/bench/bench_interpreter_throughput
+//
+// For every configuration the two engines are first checked to produce
+// bit-identical buffers, then timed over repeated runs. Work is counted in
+// innermost store executions (ir::CountStoreExecutions), so elements/s is
+// comparable across layouts of the same workload. With ALT_TRACE_DIR set the
+// per-config throughput is also written as a JSON metrics artifact for CI.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/autotune/layout_templates.h"
+#include "src/runtime/session.h"
+
+namespace alt {
+
+struct BenchConfig {
+  std::string name;
+  graph::Graph g;
+  graph::LayoutAssignment la;
+};
+
+// A deterministic schedule that exercises the vectorized inner-loop kernels:
+// each spatial axis keeps a unit-stride vec slot (largest divisor <= 8).
+loop::LoopSchedule DefaultSchedule(const loop::LoopNestSignature& sig) {
+  loop::LoopSchedule s;
+  for (int64_t e : sig.spatial_extents) {
+    int64_t vec = 1;
+    for (int64_t d = 1; d <= 8 && d <= e; ++d) {
+      if (e % d == 0) {
+        vec = d;
+      }
+    }
+    loop::SpatialAxisSchedule a;
+    a.outer = 1;
+    a.mid = 1;
+    a.inner = e / vec;
+    a.vec = vec;
+    s.spatial.push_back(a);
+  }
+  for (int64_t e : sig.reduction_extents) {
+    s.reduction.push_back({e, 1});
+  }
+  return s;
+}
+
+StatusOr<loop::LoweredNetwork> Lower(const graph::Graph& g,
+                                     const graph::LayoutAssignment& la) {
+  auto groups = loop::PartitionGraph(g, la, true);
+  loop::LoweredNetwork net;
+  net.groups = groups;
+  for (const auto& group : groups) {
+    if (graph::IsComplex(g.op(group.anchor_op).kind)) {
+      auto sig = loop::GroupSignature(g, la, group);
+      if (!sig.ok()) {
+        return sig.status();
+      }
+      auto prog = loop::LowerGroup(g, la, group, DefaultSchedule(*sig));
+      if (!prog.ok()) {
+        return prog.status();
+      }
+      net.programs.push_back(std::move(*prog));
+    } else {
+      auto prog = loop::LowerGroupNaive(g, la, group);
+      if (!prog.ok()) {
+        return prog.status();
+      }
+      net.programs.push_back(std::move(*prog));
+    }
+  }
+  return net;
+}
+
+graph::Graph ConvGraph() {
+  graph::Graph g("conv2d");
+  int x = g.AddInput("x", {1, 8, 28, 28});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {16, 8, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  g.AddRelu(c, "relu");
+  return g;
+}
+
+std::vector<BenchConfig> BuildConfigs() {
+  std::vector<BenchConfig> configs;
+
+  {
+    BenchConfig cfg{"conv2d/canonical", ConvGraph(), {}};
+    configs.push_back(std::move(cfg));
+  }
+  // Tensor ids in ConvGraph(): x=0, pad=1, w=2, conv=3, relu=4.
+  constexpr int kPad = 1, kConvOut = 3;
+  {
+    BenchConfig cfg{"conv2d/channels-last", ConvGraph(), {}};
+    cfg.la.Set(kConvOut, autotune::ChannelsLast(2));
+    cfg.la.Set(kPad, autotune::ChannelsLast(2));
+    graph::PropagateOutputLayout(cfg.g, cfg.la, kConvOut);
+    configs.push_back(std::move(cfg));
+  }
+  {
+    // Full ALT conv template: pad-guarded unfolded input, tiled output and
+    // weight — the layout that stresses guard splitting the hardest.
+    BenchConfig cfg{"conv2d/alt-template", ConvGraph(), {}};
+    const graph::Op& conv = cfg.g.op(cfg.g.ProducerOf(kConvOut));
+    autotune::ConvLayoutParams params;
+    params.spatial_tiles = {7, 7};
+    params.out_tile = 4;
+    params.in_tile = 2;
+    params.w_in_tile = 2;
+    params.w_out_tile = 4;
+    auto layouts = autotune::MakeConvTemplates(cfg.g, conv, params);
+    if (layouts.ok()) {
+      cfg.la.Set(kConvOut, layouts->output);
+      cfg.la.Set(kPad, layouts->input);
+      cfg.la.Set(conv.inputs[1], layouts->weight);
+      graph::PropagateOutputLayout(cfg.g, cfg.la, kConvOut);
+      configs.push_back(std::move(cfg));
+    } else {
+      std::fprintf(stderr, "alt-template config skipped: %s\n",
+                   layouts.status().ToString().c_str());
+    }
+  }
+  {
+    BenchConfig cfg{"gmm/canonical", graph::BuildSingleMatmul(64, 64, 64), {}};
+    configs.push_back(std::move(cfg));
+  }
+  {
+    BenchConfig cfg{"gmm/transposed-b", graph::BuildSingleMatmul(64, 64, 64), {}};
+    cfg.la.Set(cfg.g.op(0).inputs[1], autotune::TransposedB());
+    configs.push_back(std::move(cfg));
+  }
+  {
+    BenchConfig cfg{"gmm/blocked", graph::BuildSingleMatmul(64, 64, 64), {}};
+    const graph::Op& op = cfg.g.op(0);
+    autotune::GmmLayoutParams params{8, 8, 8};
+    auto layouts = autotune::MakeGmmTemplates(cfg.g, op, params);
+    if (layouts.ok()) {
+      cfg.la.Set(op.output, layouts->c);
+      cfg.la.Set(op.inputs[0], layouts->a);
+      cfg.la.Set(op.inputs[1], layouts->b);
+      configs.push_back(std::move(cfg));
+    } else {
+      std::fprintf(stderr, "gmm/blocked config skipped: %s\n",
+                   layouts.status().ToString().c_str());
+    }
+  }
+  return configs;
+}
+
+struct ConfigResult {
+  std::string name;
+  double affine_eps = 0.0;   // elements (store executions) per second
+  double generic_eps = 0.0;
+  double speedup = 0.0;
+  bench::SampleStats affine_stats;  // per-run elements/s samples
+};
+
+// Seeds `store` with physicalized graph inputs/constants.
+Status SeedStore(const graph::Graph& g, const graph::LayoutAssignment& la,
+                 runtime::BufferStore& store, uint64_t seed) {
+  Rng rng(seed);
+  runtime::TensorDataMap data;
+  runtime::FillGraphInputs(g, rng, data);
+  for (const auto& t : g.tensors()) {
+    if (!g.IsGraphInput(t.id) && !g.IsConstant(t.id)) {
+      continue;
+    }
+    auto phys = runtime::Physicalize(data[t.id], t.shape, la.Get(t.id));
+    if (!phys.ok()) {
+      return phys.status();
+    }
+    store.Get(t.id) = std::move(*phys);
+  }
+  return Status::Ok();
+}
+
+double RunOnce(const loop::LoweredNetwork& net, runtime::BufferStore& store,
+               const runtime::ExecOptions& opts) {
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& program : net.programs) {
+    Status s = runtime::Execute(program, store, opts);
+    if (!s.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+int Main() {
+  bench::PrintHeader(
+      "Interpreter throughput: affine engine vs generic tree walk "
+      "(elements = innermost store executions)");
+
+  runtime::ExecOptions affine;
+  affine.engine = runtime::ExecEngine::kAffine;
+  runtime::ExecOptions generic;
+  generic.engine = runtime::ExecEngine::kGeneric;
+
+  std::vector<ConfigResult> results;
+  std::printf("%-22s %14s %14s %9s\n", "config", "affine_el/s", "generic_el/s",
+              "speedup");
+  for (auto& cfg : BuildConfigs()) {
+    auto net = Lower(cfg.g, cfg.la);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s: lowering failed: %s\n", cfg.name.c_str(),
+                   net.status().ToString().c_str());
+      return 1;
+    }
+    int64_t elems = 0;
+    for (const auto& program : net->programs) {
+      elems += ir::CountStoreExecutions(program.root);
+    }
+
+    // Correctness gate: both engines must produce bit-identical buffers.
+    runtime::BufferStore fast, slow;
+    if (!SeedStore(cfg.g, cfg.la, fast, 7).ok() ||
+        !SeedStore(cfg.g, cfg.la, slow, 7).ok()) {
+      std::fprintf(stderr, "%s: input physicalization failed\n", cfg.name.c_str());
+      return 1;
+    }
+    RunOnce(*net, fast, affine);
+    RunOnce(*net, slow, generic);
+    for (const auto& program : net->programs) {
+      for (const auto& decl : program.buffers) {
+        const auto* a = fast.Find(decl.tensor.id);
+        const auto* b = slow.Find(decl.tensor.id);
+        if (a == nullptr || b == nullptr || a->size() != b->size() ||
+            std::memcmp(a->data(), b->data(), a->size() * sizeof(float)) != 0) {
+          std::fprintf(stderr, "%s: BIT-IDENTITY VIOLATION on tensor %s\n",
+                       cfg.name.c_str(), decl.tensor.name.c_str());
+          return 1;
+        }
+      }
+    }
+
+    constexpr int kAffineReps = 10;
+    constexpr int kGenericReps = 3;
+    std::vector<double> affine_eps;
+    for (int r = 0; r < kAffineReps; ++r) {
+      affine_eps.push_back(static_cast<double>(elems) / RunOnce(*net, fast, affine));
+    }
+    double generic_total = 0.0;
+    for (int r = 0; r < kGenericReps; ++r) {
+      generic_total += RunOnce(*net, slow, generic);
+    }
+
+    ConfigResult res;
+    res.name = cfg.name;
+    res.affine_stats = bench::Summarize(affine_eps);
+    res.affine_eps = res.affine_stats.p50;
+    res.generic_eps = static_cast<double>(elems) * kGenericReps / generic_total;
+    res.speedup = res.affine_eps / res.generic_eps;
+    std::printf("%-22s %14.3e %14.3e %8.2fx\n", res.name.c_str(), res.affine_eps,
+                res.generic_eps, res.speedup);
+    results.push_back(std::move(res));
+  }
+
+  double log_sum = 0.0;
+  for (const auto& r : results) {
+    log_sum += std::log(r.speedup);
+  }
+  double geomean = results.empty() ? 0.0 : std::exp(log_sum / results.size());
+  std::printf("\ngeomean speedup (affine vs generic): %.2fx\n", geomean);
+  for (const auto& r : results) {
+    std::printf("  %-22s p50=%.3e p95=%.3e min=%.3e max=%.3e el/s\n", r.name.c_str(),
+                r.affine_stats.p50, r.affine_stats.p95, r.affine_stats.min,
+                r.affine_stats.max);
+  }
+
+  const std::string trace_dir = bench::TraceDir();
+  if (!trace_dir.empty()) {
+    std::string json = "{\n  \"interpreter_throughput\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"config\": \"%s\", \"elements_per_s\": %.6e, "
+                    "\"generic_elements_per_s\": %.6e, \"speedup\": %.3f}%s\n",
+                    r.name.c_str(), r.affine_eps, r.generic_eps, r.speedup,
+                    i + 1 < results.size() ? "," : "");
+      json += buf;
+    }
+    char tail[64];
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    json += tail;
+    Status ws = WriteFile(trace_dir + "/interpreter_throughput_metrics.json", json);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "metrics artifact not written: %s\n", ws.ToString().c_str());
+    } else {
+      std::printf("metrics artifact written to %s/interpreter_throughput_metrics.json\n",
+                  trace_dir.c_str());
+    }
+  }
+
+  // The affine engine exists to make simulation-side execution cheap; a
+  // regression below 2x end-to-end means the fast path stopped engaging.
+  if (geomean < 2.0) {
+    std::fprintf(stderr, "THROUGHPUT REGRESSION: geomean %.2fx < 2x\n", geomean);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace alt
+
+int main() { return alt::Main(); }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/ir/affine.h"
 #include "src/ir/tensor.h"
 #include "src/loop/serialization.h"
 #include "src/support/crc32.h"
@@ -113,6 +114,11 @@ int64_t MeasureEngine::quarantine_size() const {
   return static_cast<int64_t>(quarantine_.size());
 }
 
+int64_t MeasureEngine::analysis_cache_size() const {
+  std::lock_guard<std::mutex> lock(analysis_mu_);
+  return static_cast<int64_t>(analysis_cache_.size());
+}
+
 bool MeasureEngine::keyed() const {
   return config_.cache_enabled || config_.replay != nullptr ||
          static_cast<bool>(config_.on_measured) || injector_.enabled();
@@ -206,6 +212,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   std::vector<double> slot_backoff(w_count, 0.0);
   std::vector<int64_t> slot_cpu_ns(w_count, 0);
   std::vector<char> slot_done(w_count, 0);
+  std::vector<char> slot_analysis_hit(w_count, 0);
   const int max_attempts = std::max(1, config_.retry.max_attempts);
   Histogram& queue_wait_hist = MetricsRegistry::Global().histogram("measure.queue_wait_us");
   Histogram& candidate_hist = MetricsRegistry::Global().histogram("measure.candidate_us");
@@ -237,7 +244,33 @@ std::vector<MeasureResult> MeasureEngine::Measure(
           results[i].status = program.status();  // deterministic: no retry
           break;
         }
-        results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+        if (config_.analysis_cache) {
+          // Structurally identical programs (e.g. schedules differing only in
+          // omitted unit loops) analyze once; EstimateProgram is pure in the
+          // structure + buffer shapes the key captures, so a hit returns the
+          // exact latency a fresh analysis would.
+          std::string akey = ir::ProgramStructureKey(*program);
+          bool hit = false;
+          double latency = 0.0;
+          {
+            std::lock_guard<std::mutex> lock(analysis_mu_);
+            auto it = analysis_cache_.find(akey);
+            if (it != analysis_cache_.end()) {
+              hit = true;
+              latency = it->second;
+            }
+          }
+          if (hit) {
+            slot_analysis_hit[w] = 1;
+          } else {
+            latency = sim::EstimateProgram(*program, machine_).latency_us;
+            std::lock_guard<std::mutex> lock(analysis_mu_);
+            analysis_cache_.emplace(std::move(akey), latency);
+          }
+          results[i].latency_us = latency;
+        } else {
+          results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+        }
         results[i].status = Status::Ok();
         break;
       } catch (const std::exception& e) {
@@ -260,6 +293,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
     }
     stats_.retries += slot_retries[w];
     stats_.injected_failures += slot_injected[w];
+    stats_.analysis_cache_hits += slot_analysis_hit[w];
     stats_.backoff_ms += slot_backoff[w];
     stats_.cpu_ms += static_cast<double>(slot_cpu_ns[w]) * 1e-6;
     if (results[i].status.ok()) {
@@ -320,6 +354,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   static Counter& c_retries = registry.counter("measure.retries");
   static Counter& c_quarantined = registry.counter("measure.quarantined");
   static Counter& c_injected = registry.counter("measure.injected_failures");
+  static Counter& c_analysis_hits = registry.counter("measure.analysis_cache_hits");
   c_requested.Add(stats_.requested - stats_before.requested);
   c_measured.Add(stats_.measured - stats_before.measured);
   c_cache_hits.Add(stats_.cache_hits - stats_before.cache_hits);
@@ -328,6 +363,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   c_retries.Add(stats_.retries - stats_before.retries);
   c_quarantined.Add(stats_.quarantined - stats_before.quarantined);
   c_injected.Add(stats_.injected_failures - stats_before.injected_failures);
+  c_analysis_hits.Add(stats_.analysis_cache_hits - stats_before.analysis_cache_hits);
   return results;
 }
 

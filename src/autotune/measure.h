@@ -67,6 +67,13 @@ struct MeasureStats {
   int64_t replayed = 0;    // candidates answered from a replay log (ok or fail)
   int64_t retries = 0;     // extra attempts after a transient failure
   int64_t quarantined = 0; // distinct keys placed in quarantine
+  // Fresh measurements whose lowered program matched an already-analyzed
+  // structure (ir::ProgramStructureKey) and skipped sim::EstimateProgram.
+  // These still count as `measured` — the candidate was lowered — but the
+  // analysis work was served from the structure cache. The count can vary
+  // with thread scheduling (concurrent first-misses race benignly); the
+  // returned latencies never do.
+  int64_t analysis_cache_hits = 0;
   int64_t injected_failures = 0;  // attempts failed by the FaultInjector
   double backoff_ms = 0.0;        // total retry backoff requested
   // Wall-clock of Measure() calls, accounted ONCE PER BATCH on the calling
@@ -117,6 +124,12 @@ struct MeasureReplayLog {
 struct MeasureEngineConfig {
   int threads = 0;            // <= 0: one per hardware core
   bool cache_enabled = true;  // memoization (parallelism works either way)
+  // Structure-keyed analysis cache: candidates whose lowered programs are
+  // structurally identical (schedules differing only in omitted unit loops,
+  // or distinct groups lowering to the same nest) share one EstimateProgram
+  // run. Keyed by ir::ProgramStructureKey, which normalizes variable and
+  // tensor ids, so it is strictly finer-grained than the measurement cache.
+  bool analysis_cache = true;
   FaultInjector::Options faults;
   RetryPolicy retry;
   // Not owned; must outlive the engine when set.
@@ -162,6 +175,7 @@ class MeasureEngine {
   bool cache_enabled() const { return config_.cache_enabled; }
   int64_t cache_size() const;
   int64_t quarantine_size() const;
+  int64_t analysis_cache_size() const;
 
  private:
   // True when per-candidate keys must be computed (cache, replay, journal
@@ -177,6 +191,11 @@ class MeasureEngine {
   mutable std::mutex cache_mu_;
   std::unordered_map<std::string, double> cache_;  // key -> latency_us (ok only)
   std::unordered_set<std::string> quarantine_;     // keys that fail persistently
+
+  // Structure key -> latency_us. Guarded separately from cache_mu_: lookups
+  // happen on pool threads mid-measurement, not on the reducing thread.
+  mutable std::mutex analysis_mu_;
+  std::unordered_map<std::string, double> analysis_cache_;
 
   MeasureStats stats_;
 };

@@ -1,9 +1,13 @@
 #include "src/runtime/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "src/ir/affine.h"
 #include "src/ir/eval.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
@@ -14,6 +18,15 @@ namespace {
 
 using ir::CompiledExpr;
 using ir::VarSlotMap;
+
+// Fixed binding of a declared buffer: pointer and size are captured once, in
+// the up-front allocation pass, before any plan compilation — compiled plans
+// and kernels may hold raw pointers for the duration of the execution.
+struct BufferBinding {
+  std::vector<float>* buffer = nullptr;
+  int64_t size = 0;
+};
+using BindingMap = std::unordered_map<int, BufferBinding>;
 
 // A value expression compiled against buffer pointers and var slots.
 struct CompiledVal {
@@ -66,10 +79,19 @@ struct ExecContext {
   }
 };
 
+ir::Expr LinearIndexExpr(const std::vector<ir::Expr>& indices,
+                         const std::vector<int64_t>& strides) {
+  ir::Expr linear = ir::Const(0);
+  for (size_t d = 0; d < indices.size(); ++d) {
+    linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
+  }
+  return linear;
+}
+
 struct Compiler {
   VarSlotMap slots;
-  BufferStore* store;
-  const ir::Program* program;
+  const BindingMap* bindings = nullptr;
+  const ir::Program* program = nullptr;
   // First compile error; the returned plan is a safe placeholder after that.
   Status status = Status::Ok();
 
@@ -88,6 +110,17 @@ struct Compiler {
     return std::move(*compiled);
   }
 
+  std::vector<float>* Binding(int tensor_id, int64_t* size_out) {
+    auto it = bindings->find(tensor_id);
+    if (it == bindings->end()) {
+      Fail("no buffer binding for tensor " + std::to_string(tensor_id));
+      *size_out = 0;
+      return nullptr;
+    }
+    *size_out = it->second.size;
+    return it->second.buffer;
+  }
+
   CompiledExpr LinearOffset(int tensor_id, const std::vector<ir::Expr>& indices,
                             int64_t* size_out) {
     *size_out = 0;
@@ -104,12 +137,8 @@ struct Compiler {
       Fail(oss.str());
       return CompiledExpr();
     }
-    ir::Expr linear = ir::Const(0);
-    for (size_t d = 0; d < indices.size(); ++d) {
-      linear = ir::Add(linear, ir::Mul(indices[d], strides[d]));
-    }
     *size_out = decl->tensor.NumElements();
-    return CompileExpr(linear);
+    return CompileExpr(LinearIndexExpr(indices, strides));
   }
 
   CompiledVal CompileVal(const ir::Val& v) {
@@ -117,7 +146,8 @@ struct Compiler {
     out.kind = v->kind;
     out.imm = v->imm;
     if (v->kind == ir::ValKind::kLoad) {
-      out.buffer = &store->Get(v->tensor_id);
+      int64_t size = 0;
+      out.buffer = Binding(v->tensor_id, &size);
       out.offset = LinearOffset(v->tensor_id, v->indices, &out.buffer_size);
       return out;
     }
@@ -151,7 +181,8 @@ struct Compiler {
       }
       case ir::StmtKind::kStore: {
         auto& st = node.store;
-        st.buffer = &store->Get(stmt->tensor_id);
+        int64_t size = 0;
+        st.buffer = Binding(stmt->tensor_id, &size);
         st.offset = LinearOffset(stmt->tensor_id, stmt->indices, &st.buffer_size);
         st.value = CompileVal(stmt->value);
         st.mode = stmt->mode;
@@ -257,13 +288,678 @@ void ExecNode(const PlanNode& node, int64_t* env, ExecContext& ctx) {
   }
 }
 
+// ===========================================================================
+// Affine engine.
+//
+// The statement tree is flattened into a linear instruction array
+// (LoopBegin / LoopEnd / Leaf). Every affine load/store offset gets an
+// integer accumulator initialized to the form's base; each enclosing loop
+// carries a bump list of (accumulator, stride) pairs applied on every
+// iteration advance — strength reduction that removes offset bytecode from
+// execution entirely. A For whose body is a single Store is consumed into a
+// kernel leaf that runs the innermost loop as a tight kernel (fill / copy /
+// mul-accumulate, or a per-element fallback); top-level pad/unfold Selects
+// whose guards are affine in the leaf variable are split into contiguous
+// [else)[then)[else) ranges so the condition check leaves the inner loop.
+// Stores with non-affine residue become bytecode leaves that reuse the
+// generic CompiledStore — the two engines are bit-identical by construction:
+// every kernel performs the exact double→float conversion sequence of the
+// generic evaluator, in the same element order.
+// ===========================================================================
+
+// An affine load feeding a kernel. `acc` holds the offset at leaf position
+// v = 0 for the current outer-loop iteration; `inner` is the stride along
+// the leaf loop.
+struct AffineAccess {
+  const float* data = nullptr;
+  int64_t size = 0;
+  int acc = -1;
+  int64_t inner = 0;
+};
+
+enum class KernelKind {
+  kFill,    // value is an immediate (or a product of immediates)
+  kCopy,    // value is a single affine load
+  kMulAcc,  // value is load*load, load*imm or imm*load
+  kEval,    // per-element evaluation of a CompiledVal (offsets still bumped)
+};
+
+struct KernelBranch {
+  KernelKind kind = KernelKind::kEval;
+  double imm = 0.0;  // kFill splat value (double; cast to float at the store)
+  bool a_is_imm = false, b_is_imm = false;  // kMulAcc operand forms
+  double imm_a = 0.0, imm_b = 0.0;
+  AffineAccess a, b;
+  const CompiledVal* eval = nullptr;
+  std::shared_ptr<CompiledVal> owned;  // keeps `eval` alive for select branches
+};
+
+// One ANDed interval guard along the leaf loop: e(v) = acc-value + cv * v,
+// required to satisfy lo <= e < hi (and e ≡ rem mod modulus).
+struct LeafCond {
+  int acc = -1;
+  int64_t cv = 0, lo = 0, hi = 0, modulus = 1, rem = 0;
+};
+
+struct Leaf {
+  int64_t extent = 1;  // leaf loop trip count (1 for singleton stores)
+  int vslot = -1;      // env slot of the consumed loop (-1: singleton)
+  // Bytecode fallback (non-affine store offset).
+  const CompiledStore* bytecode = nullptr;
+  // Kernel leaf.
+  float* out = nullptr;
+  int64_t out_size = 0;
+  int store_acc = -1;
+  int64_t store_inner = 0;
+  ir::StoreMode mode = ir::StoreMode::kAssign;
+  bool guarded = false;
+  std::vector<LeafCond> conds;
+  KernelBranch then_k, else_k;
+};
+
+struct Instr {
+  enum Kind { kLoopBegin, kLoopEnd, kLeaf } kind = kLeaf;
+  int slot = -1;
+  int64_t extent = 0;
+  int match = -1;  // begin: index of matching end; end: index of begin
+  int leaf = -1;
+  std::vector<std::pair<int, int64_t>> bumps;  // (accumulator, stride)
+};
+
+struct AffinePlan {
+  std::vector<Instr> instrs;
+  std::vector<Leaf> leaves;
+  std::vector<int64_t> acc_init;
+  int64_t kernel_leaves = 0;
+  int64_t bytecode_leaves = 0;
+};
+
+// The top-level Select (if any) of a store value, with the value rewritten so
+// the select is outermost. A product with one select operand is hoisted:
+//   Mul(Select(c, t, e), x)  ==  Select(c, Mul(t, x), Mul(e, x))
+// pointwise — both sides evaluate the identical double products — so pad
+// guards buried under the conv multiply still split out of the inner loop.
+struct SelParts {
+  const std::vector<ir::IntervalCond>* conds;
+  ir::Val then_v, else_v;
+};
+
+bool ContainsSelect(const ir::Val& v) {
+  if (!v) {
+    return false;
+  }
+  if (v->kind == ir::ValKind::kSelect) {
+    return true;
+  }
+  return ContainsSelect(v->a) || ContainsSelect(v->b);
+}
+
+std::optional<SelParts> ExtractSelect(const ir::Val& v) {
+  auto is_select = [](const ir::Val& x) {
+    return x && x->kind == ir::ValKind::kSelect && !x->conds.empty() && x->a && x->b;
+  };
+  if (is_select(v)) {
+    return SelParts{&v->conds, v->a, v->b};
+  }
+  if (v->kind == ir::ValKind::kMul && v->a && v->b) {
+    if (is_select(v->a) && !ContainsSelect(v->b)) {
+      return SelParts{&v->a->conds, ir::VMul(v->a->a, v->b), ir::VMul(v->a->b, v->b)};
+    }
+    if (is_select(v->b) && !ContainsSelect(v->a)) {
+      return SelParts{&v->b->conds, ir::VMul(v->a, v->b->a), ir::VMul(v->a, v->b->b)};
+    }
+  }
+  return std::nullopt;
+}
+
+struct AffineBuilder {
+  Compiler* compiler = nullptr;
+  AffinePlan plan;
+  // Enclosing loops, outermost first. When building a consumed leaf the leaf
+  // loop is the last entry (with no loop instruction of its own).
+  std::vector<ir::AffineLoop> loops;
+  std::vector<int> loop_instrs;
+
+  // Analysis result not yet committed to an accumulator: classification may
+  // abandon it (e.g. a sibling operand turns out non-affine).
+  struct Pending {
+    ir::AffineForm form;
+    float* data = nullptr;
+    int64_t size = 0;
+  };
+
+  int NewAcc(const ir::AffineForm& f, bool consumed) {
+    int id = static_cast<int>(plan.acc_init.size());
+    plan.acc_init.push_back(f.base);
+    size_t outer = loops.size() - (consumed ? 1 : 0);
+    for (size_t i = 0; i < outer; ++i) {
+      if (f.coeffs[i] != 0) {
+        plan.instrs[loop_instrs[i]].bumps.push_back({id, f.coeffs[i]});
+      }
+    }
+    return id;
+  }
+
+  std::optional<Pending> Analyze(int tensor_id, const std::vector<ir::Expr>& indices,
+                                 const ir::AffineAnalyzer& az) {
+    const ir::BufferDecl* decl = compiler->program->FindBuffer(tensor_id);
+    if (decl == nullptr) {
+      return std::nullopt;
+    }
+    auto strides = ir::RowMajorStrides(decl->tensor.shape);
+    if (indices.size() != strides.size()) {
+      return std::nullopt;
+    }
+    auto f = az.Decompose(LinearIndexExpr(indices, strides));
+    if (!f) {
+      return std::nullopt;
+    }
+    auto it = compiler->bindings->find(tensor_id);
+    if (it == compiler->bindings->end()) {
+      return std::nullopt;
+    }
+    return Pending{std::move(*f), it->second.buffer->data(), it->second.size};
+  }
+
+  AffineAccess Commit(const Pending& p, bool consumed) {
+    AffineAccess a;
+    a.data = p.data;
+    a.size = p.size;
+    a.inner = consumed ? p.form.coeffs.back() : 0;
+    a.acc = NewAcc(p.form, consumed);
+    return a;
+  }
+
+  struct PendingBranch {
+    KernelKind kind = KernelKind::kEval;
+    double imm = 0.0;
+    bool a_is_imm = false, b_is_imm = false;
+    double imm_a = 0.0, imm_b = 0.0;
+    std::optional<Pending> a, b;
+  };
+
+  std::optional<PendingBranch> Classify(const ir::Val& v, const ir::AffineAnalyzer& az) {
+    switch (v->kind) {
+      case ir::ValKind::kImm: {
+        PendingBranch br;
+        br.kind = KernelKind::kFill;
+        br.imm = v->imm;
+        return br;
+      }
+      case ir::ValKind::kLoad: {
+        auto p = Analyze(v->tensor_id, v->indices, az);
+        if (!p) {
+          return std::nullopt;
+        }
+        PendingBranch br;
+        br.kind = KernelKind::kCopy;
+        br.a = std::move(p);
+        return br;
+      }
+      case ir::ValKind::kMul: {
+        if (!v->a || !v->b) {
+          return std::nullopt;
+        }
+        PendingBranch br;
+        br.kind = KernelKind::kMulAcc;
+        auto operand = [&](const ir::Val& o, bool* is_imm, double* imm,
+                           std::optional<Pending>* acc) {
+          if (o->kind == ir::ValKind::kImm) {
+            *is_imm = true;
+            *imm = o->imm;
+            return true;
+          }
+          if (o->kind == ir::ValKind::kLoad) {
+            *acc = Analyze(o->tensor_id, o->indices, az);
+            return acc->has_value();
+          }
+          return false;
+        };
+        if (!operand(v->a, &br.a_is_imm, &br.imm_a, &br.a) ||
+            !operand(v->b, &br.b_is_imm, &br.imm_b, &br.b)) {
+          return std::nullopt;
+        }
+        if (br.a_is_imm && br.b_is_imm) {
+          PendingBranch fill;
+          fill.kind = KernelKind::kFill;
+          fill.imm = br.imm_a * br.imm_b;
+          return fill;
+        }
+        return br;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  KernelBranch CommitBranch(PendingBranch&& p, bool consumed) {
+    KernelBranch k;
+    k.kind = p.kind;
+    k.imm = p.imm;
+    k.a_is_imm = p.a_is_imm;
+    k.b_is_imm = p.b_is_imm;
+    k.imm_a = p.imm_a;
+    k.imm_b = p.imm_b;
+    if (p.a) {
+      k.a = Commit(*p.a, consumed);
+    }
+    if (p.b) {
+      k.b = Commit(*p.b, consumed);
+    }
+    return k;
+  }
+
+  KernelBranch BranchFor(const ir::Val& v, const ir::AffineAnalyzer& az, bool consumed) {
+    if (auto k = Classify(v, az)) {
+      return CommitBranch(std::move(*k), consumed);
+    }
+    KernelBranch k;
+    k.kind = KernelKind::kEval;
+    k.owned = std::make_shared<CompiledVal>(compiler->CompileVal(v));
+    k.eval = k.owned.get();
+    return k;
+  }
+
+  void BuildLeaf(const ir::StmtNode* st, const PlanNode* pstore, bool consumed, int vslot) {
+    Leaf leaf;
+    leaf.extent = consumed ? loops.back().extent : 1;
+    leaf.vslot = consumed ? vslot : -1;
+    leaf.mode = st->mode;
+    ir::AffineAnalyzer az(loops);
+    auto sp = Analyze(st->tensor_id, st->indices, az);
+    if (!sp) {
+      // Non-affine store offset: fall back to the generic compiled store.
+      leaf.bytecode = &pstore->store;
+      ++plan.bytecode_leaves;
+      EmitLeaf(std::move(leaf));
+      return;
+    }
+    leaf.out = sp->data;
+    leaf.out_size = sp->size;
+    leaf.store_inner = consumed ? sp->form.coeffs.back() : 0;
+    leaf.store_acc = NewAcc(sp->form, consumed);
+
+    auto sel = ExtractSelect(st->value);
+    struct PendingCond {
+      ir::AffineForm form;
+      int64_t cv, lo, hi, modulus, rem;
+    };
+    std::vector<PendingCond> pconds;
+    bool split = sel.has_value();
+    if (split) {
+      for (const ir::IntervalCond& c : *sel->conds) {
+        auto f = az.Decompose(c.expr);
+        if (!f) {
+          split = false;
+          break;
+        }
+        int64_t cv = consumed ? f->coeffs.back() : 0;
+        if (c.modulus > 1 && cv % c.modulus != 0) {
+          // The guard selects a periodic subset of the leaf range (transposed
+          // conv stride-divisibility with the guard var in the inner loop):
+          // not a contiguous split — evaluate per element instead.
+          split = false;
+          break;
+        }
+        pconds.push_back({std::move(*f), cv, c.lo, c.hi, c.modulus, c.rem});
+      }
+    }
+    if (split) {
+      leaf.guarded = true;
+      for (auto& pc : pconds) {
+        leaf.conds.push_back(
+            {NewAcc(pc.form, consumed), pc.cv, pc.lo, pc.hi, pc.modulus, pc.rem});
+      }
+      leaf.then_k = BranchFor(sel->then_v, az, consumed);
+      leaf.else_k = BranchFor(sel->else_v, az, consumed);
+    } else if (auto k = Classify(st->value, az)) {
+      leaf.then_k = CommitBranch(std::move(*k), consumed);
+    } else {
+      leaf.then_k.kind = KernelKind::kEval;
+      leaf.then_k.eval = &pstore->store.value;
+    }
+    ++plan.kernel_leaves;
+    EmitLeaf(std::move(leaf));
+  }
+
+  void EmitLeaf(Leaf&& leaf) {
+    Instr ins;
+    ins.kind = Instr::kLeaf;
+    ins.leaf = static_cast<int>(plan.leaves.size());
+    plan.leaves.push_back(std::move(leaf));
+    plan.instrs.push_back(std::move(ins));
+  }
+
+  void Build(const ir::Stmt& s, const PlanNode& p) {
+    switch (s->kind) {
+      case ir::StmtKind::kFor: {
+        // Unwrap single-statement blocks to see whether this loop's body is
+        // exactly one store — if so, consume the loop into a kernel leaf.
+        const ir::StmtNode* body = s->body.get();
+        const PlanNode* pb = &p.children[0];
+        while (body->kind == ir::StmtKind::kBlock && body->stmts.size() == 1) {
+          body = body->stmts[0].get();
+          pb = &pb->children[0];
+        }
+        if (body->kind == ir::StmtKind::kStore) {
+          loops.push_back({s->loop_var->var_id, s->extent});
+          loop_instrs.push_back(-1);
+          BuildLeaf(body, pb, /*consumed=*/true, p.slot);
+          loops.pop_back();
+          loop_instrs.pop_back();
+          return;
+        }
+        int begin = static_cast<int>(plan.instrs.size());
+        Instr ins;
+        ins.kind = Instr::kLoopBegin;
+        ins.slot = p.slot;
+        ins.extent = s->extent;
+        plan.instrs.push_back(std::move(ins));
+        loops.push_back({s->loop_var->var_id, s->extent});
+        loop_instrs.push_back(begin);
+        Build(s->body, p.children[0]);
+        loops.pop_back();
+        loop_instrs.pop_back();
+        int end = static_cast<int>(plan.instrs.size());
+        Instr endi;
+        endi.kind = Instr::kLoopEnd;
+        endi.match = begin;
+        plan.instrs.push_back(std::move(endi));
+        plan.instrs[begin].match = end;
+        return;
+      }
+      case ir::StmtKind::kBlock: {
+        for (size_t i = 0; i < s->stmts.size(); ++i) {
+          Build(s->stmts[i], p.children[i]);
+        }
+        return;
+      }
+      case ir::StmtKind::kStore: {
+        BuildLeaf(s.get(), &p, /*consumed=*/false, -1);
+        return;
+      }
+    }
+  }
+};
+
+// Runs one kernel branch over leaf positions [v0, v1). Offsets are linear in
+// v, so checking both segment endpoints bounds every touched element exactly.
+void RunBranch(const Leaf& lf, const KernelBranch& k, int64_t v0, int64_t v1,
+               const std::vector<int64_t>& acc, int64_t* env, ExecContext& ctx) {
+  const int64_t n = v1 - v0;
+  if (n <= 0 || ctx.failed) {
+    return;
+  }
+  const int64_t si = lf.store_inner;
+  const int64_t so = acc[lf.store_acc] + si * v0;
+  {
+    int64_t last = so + si * (n - 1);
+    if (so < 0 || so >= lf.out_size || last < 0 || last >= lf.out_size) {
+      int64_t bad = (so < 0 || so >= lf.out_size) ? so : last;
+      std::ostringstream oss;
+      oss << "store out of bounds: " << bad << " size " << lf.out_size;
+      ctx.Fail(oss.str());
+      return;
+    }
+  }
+  auto check_load = [&](const AffineAccess& a, int64_t* off0) {
+    int64_t o0 = acc[a.acc] + a.inner * v0;
+    int64_t last = o0 + a.inner * (n - 1);
+    if (o0 < 0 || o0 >= a.size || last < 0 || last >= a.size) {
+      int64_t bad = (o0 < 0 || o0 >= a.size) ? o0 : last;
+      std::ostringstream oss;
+      oss << "load out of bounds: " << bad << " size " << a.size;
+      ctx.Fail(oss.str());
+      return false;
+    }
+    *off0 = o0;
+    return true;
+  };
+  float* out = lf.out;
+  const bool accumulate = lf.mode == ir::StoreMode::kAccumulate;
+  switch (k.kind) {
+    case KernelKind::kFill: {
+      const float f = static_cast<float>(k.imm);
+      if (!accumulate) {
+        if (si == 1) {
+          std::fill_n(out + so, n, f);
+        } else if (si == 0) {
+          out[so] = f;  // n identical assigns collapse to one
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            out[so + si * i] = f;
+          }
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          out[so + si * i] += f;
+        }
+      }
+      return;
+    }
+    case KernelKind::kCopy: {
+      int64_t io = 0;
+      if (!check_load(k.a, &io)) {
+        return;
+      }
+      const float* in = k.a.data;
+      const int64_t ai = k.a.inner;
+      if (!accumulate) {
+        for (int64_t i = 0; i < n; ++i) {
+          out[so + si * i] = in[io + ai * i];
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          out[so + si * i] += in[io + ai * i];
+        }
+      }
+      return;
+    }
+    case KernelKind::kMulAcc: {
+      int64_t ia = 0, ib = 0;
+      if (!k.a_is_imm && !check_load(k.a, &ia)) {
+        return;
+      }
+      if (!k.b_is_imm && !check_load(k.b, &ib)) {
+        return;
+      }
+      if (!k.a_is_imm && !k.b_is_imm) {
+        const float* A = k.a.data;
+        const float* B = k.b.data;
+        const int64_t sa = k.a.inner, sb = k.b.inner;
+        if (accumulate) {
+          if (si == 0) {
+            // Reduction into one element (e.g. the GMM dot product).
+            // Sequential float accumulation preserves bit-identity.
+            float* o = out + so;
+            for (int64_t i = 0; i < n; ++i) {
+              *o += static_cast<float>(static_cast<double>(A[ia + sa * i]) *
+                                       static_cast<double>(B[ib + sb * i]));
+            }
+          } else {
+            for (int64_t i = 0; i < n; ++i) {
+              out[so + si * i] += static_cast<float>(static_cast<double>(A[ia + sa * i]) *
+                                                     static_cast<double>(B[ib + sb * i]));
+            }
+          }
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            out[so + si * i] = static_cast<float>(static_cast<double>(A[ia + sa * i]) *
+                                                  static_cast<double>(B[ib + sb * i]));
+          }
+        }
+        return;
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        double x = k.a_is_imm ? k.imm_a : static_cast<double>(k.a.data[ia + k.a.inner * i]);
+        double y = k.b_is_imm ? k.imm_b : static_cast<double>(k.b.data[ib + k.b.inner * i]);
+        float p = static_cast<float>(x * y);
+        if (accumulate) {
+          out[so + si * i] += p;
+        } else {
+          out[so + si * i] = p;
+        }
+      }
+      return;
+    }
+    case KernelKind::kEval: {
+      const CompiledVal& cv = *k.eval;
+      int64_t o = so;
+      for (int64_t i = 0; i < n; ++i, o += si) {
+        if (lf.vslot >= 0) {
+          env[lf.vslot] = v0 + i;
+        }
+        double v = EvalVal(cv, env, ctx);
+        if (ctx.failed) {
+          return;
+        }
+        if (accumulate) {
+          out[o] += static_cast<float>(v);
+        } else {
+          out[o] = static_cast<float>(v);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void RunBytecodeLeaf(const Leaf& lf, int64_t* env, ExecContext& ctx) {
+  const CompiledStore& st = *lf.bytecode;
+  for (int64_t v = 0; v < lf.extent && !ctx.failed; ++v) {
+    if (lf.vslot >= 0) {
+      env[lf.vslot] = v;
+    }
+    int64_t off = st.offset.Eval(env);
+    if (off < 0 || off >= st.buffer_size) {
+      std::ostringstream oss;
+      oss << "store out of bounds: " << off << " size " << st.buffer_size;
+      ctx.Fail(oss.str());
+      return;
+    }
+    double val = EvalVal(st.value, env, ctx);
+    if (ctx.failed) {
+      return;
+    }
+    if (st.mode == ir::StoreMode::kAssign) {
+      (*st.buffer)[off] = static_cast<float>(val);
+    } else {
+      (*st.buffer)[off] += static_cast<float>(val);
+    }
+  }
+}
+
+void RunLeaf(const Leaf& lf, const std::vector<int64_t>& acc, int64_t* env,
+             ExecContext& ctx) {
+  if (lf.bytecode != nullptr) {
+    RunBytecodeLeaf(lf, env, ctx);
+    return;
+  }
+  if (!lf.guarded) {
+    RunBranch(lf, lf.then_k, 0, lf.extent, acc, env, ctx);
+    return;
+  }
+  int64_t tb = 0, te = lf.extent;
+  for (const LeafCond& c : lf.conds) {
+    auto r = ir::GuardRange(acc[c.acc], c.cv, c.lo, c.hi, c.modulus, c.rem, lf.extent);
+    if (!r) {
+      ctx.Fail("internal: unsplittable guard reached affine executor");
+      return;
+    }
+    tb = std::max(tb, r->first);
+    te = std::min(te, r->second);
+  }
+  if (tb >= te) {
+    RunBranch(lf, lf.else_k, 0, lf.extent, acc, env, ctx);
+    return;
+  }
+  // Same element order as the generic engine: prefix else, then, suffix else.
+  RunBranch(lf, lf.else_k, 0, tb, acc, env, ctx);
+  RunBranch(lf, lf.then_k, tb, te, acc, env, ctx);
+  RunBranch(lf, lf.else_k, te, lf.extent, acc, env, ctx);
+}
+
+void RunAffine(const AffinePlan& plan, std::vector<int64_t>& acc, int64_t* env,
+               ExecContext& ctx) {
+  std::vector<int64_t> iters(plan.instrs.size(), 0);
+  size_t ip = 0;
+  while (ip < plan.instrs.size() && !ctx.failed) {
+    const Instr& ins = plan.instrs[ip];
+    switch (ins.kind) {
+      case Instr::kLoopBegin: {
+        if (ins.extent <= 0) {
+          ip = static_cast<size_t>(ins.match) + 1;
+          break;
+        }
+        iters[ip] = 0;
+        env[ins.slot] = 0;
+        ++ip;
+        break;
+      }
+      case Instr::kLoopEnd: {
+        const Instr& begin = plan.instrs[ins.match];
+        int64_t i = ++iters[ins.match];
+        if (i < begin.extent) {
+          env[begin.slot] = i;
+          for (const auto& [a, s] : begin.bumps) {
+            acc[a] += s;
+          }
+          ip = static_cast<size_t>(ins.match) + 1;
+        } else {
+          for (const auto& [a, s] : begin.bumps) {
+            acc[a] -= s * (begin.extent - 1);
+          }
+          ++ip;
+        }
+        break;
+      }
+      case Instr::kLeaf: {
+        RunLeaf(plan.leaves[ins.leaf], acc, env, ctx);
+        ++ip;
+        break;
+      }
+    }
+  }
+}
+
+// In-order (= execution-order) first store per tensor id: a tensor whose
+// first write plainly assigns needs no zero-fill; only accumulate-first
+// (reduction) outputs rely on a zeroed buffer.
+void CollectFirstStores(const ir::Stmt& s, std::unordered_map<int, ir::StoreMode>& out) {
+  switch (s->kind) {
+    case ir::StmtKind::kFor:
+      CollectFirstStores(s->body, out);
+      break;
+    case ir::StmtKind::kBlock:
+      for (const auto& child : s->stmts) {
+        CollectFirstStores(child, out);
+      }
+      break;
+    case ir::StmtKind::kStore:
+      out.try_emplace(s->tensor_id, s->mode);
+      break;
+  }
+}
+
 }  // namespace
 
 Status Execute(const ir::Program& program, BufferStore& store) {
+  return Execute(program, store, ExecOptions());
+}
+
+Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options) {
   TraceSpan span("interp.execute");
   static Counter& executions = MetricsRegistry::Global().counter("interp.programs");
   executions.Add();
-  // Allocate / validate buffers.
+  std::unordered_map<int, ir::StoreMode> first_store;
+  if (program.root) {
+    CollectFirstStores(program.root, first_store);
+  }
+  // Allocate / validate every declared buffer up front, in one pass, before
+  // any compilation: compiled plans capture raw pointers, so allocation and
+  // pointer capture must not interleave.
+  BindingMap bindings;
+  bindings.reserve(program.buffers.size());
   for (const auto& decl : program.buffers) {
     int64_t n = decl.tensor.NumElements();
     auto& buf = store.Get(decl.tensor.id);
@@ -276,16 +972,25 @@ Status Execute(const ir::Program& program, BufferStore& store) {
         }
         break;
       case ir::BufferRole::kOutput:
-      case ir::BufferRole::kIntermediate:
-        buf.assign(n, 0.0f);
+      case ir::BufferRole::kIntermediate: {
+        auto it = first_store.find(decl.tensor.id);
+        if (it != first_store.end() && it->second == ir::StoreMode::kAssign) {
+          // First write is a plain store: skip the redundant zero-fill
+          // (fresh elements from growth are value-initialized anyway).
+          buf.resize(n);
+        } else {
+          buf.assign(n, 0.0f);
+        }
         break;
+      }
     }
+    bindings[decl.tensor.id] = {&buf, n};
   }
   if (!program.root) {
     return Status::Ok();
   }
   Compiler compiler;
-  compiler.store = &store;
+  compiler.bindings = &bindings;
   compiler.program = &program;
   PlanNode plan = compiler.CompileStmt(program.root);
   if (!compiler.status.ok()) {
@@ -293,7 +998,27 @@ Status Execute(const ir::Program& program, BufferStore& store) {
   }
   std::vector<int64_t> env(compiler.slots.size(), 0);
   ExecContext ctx;
-  ExecNode(plan, env.data(), ctx);
+  if (options.engine == ExecEngine::kGeneric) {
+    static Counter& generic = MetricsRegistry::Global().counter("interp.generic_programs");
+    generic.Add();
+    ExecNode(plan, env.data(), ctx);
+  } else {
+    static Counter& affine = MetricsRegistry::Global().counter("interp.affine_programs");
+    affine.Add();
+    AffineBuilder builder;
+    builder.compiler = &compiler;
+    builder.Build(program.root, plan);
+    if (!compiler.status.ok()) {
+      return compiler.status;  // select-branch compiles share the error state
+    }
+    static Counter& kernel_leaves = MetricsRegistry::Global().counter("interp.kernel_leaves");
+    static Counter& bytecode_leaves =
+        MetricsRegistry::Global().counter("interp.bytecode_leaves");
+    kernel_leaves.Add(static_cast<uint64_t>(builder.plan.kernel_leaves));
+    bytecode_leaves.Add(static_cast<uint64_t>(builder.plan.bytecode_leaves));
+    std::vector<int64_t> acc = builder.plan.acc_init;
+    RunAffine(builder.plan, acc, env.data(), ctx);
+  }
   return ctx.error;
 }
 

@@ -4,6 +4,16 @@
 // transformed program must produce the same numbers as the canonical
 // reference implementation (reference.h), whatever primitive sequences and
 // schedules were applied.
+//
+// Two engines share one compile step:
+//   - kAffine (default): loads/stores whose offsets decompose into
+//     base + Σ stride_i · loop_i (ir/affine.h) run through an iterative
+//     loop-nest executor with incremental offset bumping, guard-range
+//     splitting and tight inner-loop kernels. Anything with non-affine
+//     residue falls back per-store to the generic bytecode path.
+//   - kGeneric: the recursive tree-walking path, retained as the fallback
+//     target and as the oracle for differential testing.
+// Both engines produce bit-identical buffers.
 
 #ifndef ALT_RUNTIME_INTERPRETER_H_
 #define ALT_RUNTIME_INTERPRETER_H_
@@ -31,10 +41,22 @@ class BufferStore {
   std::unordered_map<int, std::vector<float>> buffers_;
 };
 
+enum class ExecEngine {
+  kAuto,     // affine engine with per-store generic fallback (the default)
+  kAffine,   // same as kAuto (the affine engine always embeds the fallback)
+  kGeneric,  // force the recursive tree-walking engine
+};
+
+struct ExecOptions {
+  ExecEngine engine = ExecEngine::kAuto;
+};
+
 // Executes `program` against `store`. Buffers for inputs/constants must be
-// present and correctly sized; outputs and intermediates are allocated (and
-// zero-initialized) on demand.
+// present and correctly sized; outputs and intermediates are allocated up
+// front in one pass before plan compilation (zero-filled only when the
+// program's first write to them accumulates).
 Status Execute(const ir::Program& program, BufferStore& store);
+Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options);
 
 }  // namespace alt::runtime
 

@@ -5,6 +5,7 @@
 
 #include "src/support/metrics.h"
 
+#include "src/ir/affine.h"
 #include "src/ir/eval.h"
 
 namespace alt::sim {
@@ -108,6 +109,22 @@ struct Collector {
         }
         std::vector<int64_t> env(slots.size(), 0);
 
+        // Shared affine analysis (ir/affine.h): per-loop strides come straight
+        // from the decomposed coefficients, with no probe evaluations. The
+        // decomposition is exact over the iteration domain, and with every
+        // extent >= 2 the probe points below lie inside that domain — so both
+        // derivations provably agree; probing is kept for non-affine residue.
+        std::vector<ir::AffineLoop> aloops;
+        aloops.reserve(stack.size());
+        bool probe_only = false;
+        for (const auto& l : stack) {
+          aloops.push_back({l.var_id, l.extent});
+          if (l.extent < 2) {
+            probe_only = true;  // unit loop: probe point leaves the domain
+          }
+        }
+        ir::AffineAnalyzer analyzer(std::move(aloops));
+
         auto analyze_access = [&](int tensor_id, const std::vector<ir::Expr>& indices,
                                   bool is_store, double selectivity) {
           const ir::BufferDecl* decl = program->FindBuffer(tensor_id);
@@ -119,6 +136,23 @@ struct Collector {
           for (size_t d = 0; d < indices.size() && d < buf_strides.size(); ++d) {
             linear = ir::Add(linear, ir::Mul(indices[d], buf_strides[d]));
           }
+          if (!probe_only) {
+            if (auto form = analyzer.Decompose(linear)) {
+              static Counter& affine_strides =
+                  MetricsRegistry::Global().counter("sim.affine_strides");
+              affine_strides.Add();
+              AccessInfo info;
+              info.is_store = is_store;
+              info.tensor_elems = decl->tensor.NumElements();
+              info.selectivity = selectivity;
+              info.strides.assign(form->coeffs.begin(), form->coeffs.end());
+              leaf.accesses.push_back(std::move(info));
+              return;
+            }
+          }
+          static Counter& probed_strides =
+              MetricsRegistry::Global().counter("sim.probed_strides");
+          probed_strides.Add();
           auto maybe_compiled = ir::CompiledExpr::Compile(linear, slots);
           if (!maybe_compiled.ok()) {
             // Access references a var outside the loop nest (malformed

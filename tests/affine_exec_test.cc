@@ -1,0 +1,563 @@
+// Affine execution engine coverage: unit tests for the decomposition and
+// guard-range rules (ir/affine.h), a randomized differential corpus proving
+// the fast path and the generic fallback produce bit-identical buffers across
+// layout-primitive + schedule combinations, zero-init-skip semantics, and the
+// structure-keyed analysis cache of the measurement engine.
+
+#include <cstring>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autotune/layout_templates.h"
+#include "src/autotune/measure.h"
+#include "src/graph/layout_assignment.h"
+#include "src/graph/networks.h"
+#include "src/ir/affine.h"
+#include "src/ir/eval.h"
+#include "src/loop/lowering.h"
+#include "src/runtime/session.h"
+
+namespace alt {
+namespace {
+
+using graph::Graph;
+using graph::LayoutAssignment;
+using graph::OpKind;
+using ir::AffineAnalyzer;
+using ir::AffineLoop;
+
+// ---------------------------------------------------------------------------
+// Affine decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(AffineDecompose, LinearForm) {
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  AffineAnalyzer az({{i->var_id, 4}, {j->var_id, 7}});
+  auto f = az.Decompose(ir::Add(ir::Add(ir::Mul(i, 3), j), ir::Const(5)));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->base, 5);
+  ASSERT_EQ(f->coeffs.size(), 2u);
+  EXPECT_EQ(f->coeffs[0], 3);
+  EXPECT_EQ(f->coeffs[1], 1);
+}
+
+TEST(AffineDecompose, SplitFuseRoundtrip) {
+  // The split/fuse pattern layout lowering produces: (4i + j) with j in
+  // [0, 4) must divide and mod back to exactly i and j.
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  AffineAnalyzer az({{i->var_id, 6}, {j->var_id, 4}});
+  ir::Expr fused = ir::Add(ir::Mul(i, 4), j);
+  auto div = az.Decompose(ir::FloorDiv(fused, 4));
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->base, 0);
+  EXPECT_EQ(div->coeffs[0], 1);
+  EXPECT_EQ(div->coeffs[1], 0);
+  auto mod = az.Decompose(ir::Mod(fused, 4));
+  ASSERT_TRUE(mod.has_value());
+  EXPECT_EQ(mod->base, 0);
+  EXPECT_EQ(mod->coeffs[0], 0);
+  EXPECT_EQ(mod->coeffs[1], 1);
+}
+
+TEST(AffineDecompose, ModWithOffsetStaysExactWhenRangeFits) {
+  ir::Expr i = ir::MakeVar("i");
+  AffineAnalyzer az({{i->var_id, 4}});
+  // (i + 2) mod 8 == i + 2 for i in [0, 4).
+  auto f = az.Decompose(ir::Mod(ir::Add(i, 2), 8));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->base, 2);
+  EXPECT_EQ(f->coeffs[0], 1);
+}
+
+TEST(AffineDecompose, NonDivisibleResidueIsRejected) {
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  AffineAnalyzer az({{i->var_id, 4}, {j->var_id, 2}});
+  // (3i + j) / 4 takes quotients 0, 1 and 2 over the domain: not affine.
+  EXPECT_FALSE(az.Decompose(ir::FloorDiv(ir::Add(ir::Mul(i, 3), j), 4)).has_value());
+}
+
+TEST(AffineDecompose, MinMaxResolveByDifferenceRange) {
+  ir::Expr i = ir::MakeVar("i");
+  AffineAnalyzer az({{i->var_id, 4}});
+  // i <= 7 over the whole domain -> min picks i; max picks the constant.
+  auto mn = az.Decompose(ir::Min(i, ir::Const(7)));
+  ASSERT_TRUE(mn.has_value());
+  EXPECT_EQ(mn->coeffs[0], 1);
+  auto mx = az.Decompose(ir::Max(i, ir::Const(7)));
+  ASSERT_TRUE(mx.has_value());
+  EXPECT_EQ(mx->coeffs[0], 0);
+  EXPECT_EQ(mx->base, 7);
+  // i crosses 2 inside the domain: unresolvable.
+  EXPECT_FALSE(az.Decompose(ir::Min(i, ir::Const(2))).has_value());
+}
+
+TEST(AffineDecompose, UnknownVarIsNonAffine) {
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr stray = ir::MakeVar("stray");
+  AffineAnalyzer az({{i->var_id, 4}});
+  EXPECT_FALSE(az.Decompose(ir::Add(i, stray)).has_value());
+}
+
+// Every successful decomposition must agree with bytecode evaluation at every
+// point of the iteration domain — the exactness contract the engines rely on.
+TEST(AffineDecompose, ExactOverTheWholeDomain) {
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  const int64_t ei = 6, ej = 8;
+  AffineAnalyzer az({{i->var_id, ei}, {j->var_id, ej}});
+  std::vector<ir::Expr> exprs = {
+      ir::Add(ir::Mul(i, 9), ir::Mul(j, 2)),
+      ir::FloorDiv(ir::Add(ir::Mul(i, 8), j), 8),
+      ir::Mod(ir::Add(ir::Mul(i, 8), j), 8),
+      ir::Mod(ir::Add(ir::Mul(i, 16), ir::Add(ir::Mul(j, 2), 1)), 16),
+      ir::Min(ir::Add(i, j), ir::Const(13)),
+      ir::Max(ir::Sub(i, 5), ir::Const(-5)),
+      ir::Sub(ir::Mul(j, 3), ir::Mul(i, 2)),
+  };
+  ir::VarSlotMap slots;
+  int si = slots.AddVar(i->var_id);
+  int sj = slots.AddVar(j->var_id);
+  for (const auto& e : exprs) {
+    auto form = az.Decompose(e);
+    ASSERT_TRUE(form.has_value()) << ir::ToString(e);
+    auto compiled = ir::CompiledExpr::Compile(e, slots);
+    ASSERT_TRUE(compiled.ok());
+    std::vector<int64_t> env(slots.size(), 0);
+    for (int64_t vi = 0; vi < ei; ++vi) {
+      for (int64_t vj = 0; vj < ej; ++vj) {
+        env[si] = vi;
+        env[sj] = vj;
+        int64_t expected = compiled->Eval(env.data());
+        int64_t got = form->base + form->coeffs[0] * vi + form->coeffs[1] * vj;
+        ASSERT_EQ(got, expected) << ir::ToString(e) << " at i=" << vi << " j=" << vj;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guard-range splitting.
+// ---------------------------------------------------------------------------
+
+// Brute-force oracle for the guard predicate.
+bool GuardHolds(int64_t e, int64_t lo, int64_t hi, int64_t modulus, int64_t rem) {
+  if (e < lo || e >= hi) {
+    return false;
+  }
+  if (modulus > 1) {
+    int64_t m = e % modulus;
+    if (m < 0) {
+      m += modulus;
+    }
+    return m == rem;
+  }
+  return true;
+}
+
+void CheckGuardRange(int64_t c0, int64_t cv, int64_t lo, int64_t hi, int64_t modulus,
+                     int64_t rem, int64_t extent) {
+  auto r = ir::GuardRange(c0, cv, lo, hi, modulus, rem, extent);
+  ASSERT_TRUE(r.has_value());
+  for (int64_t v = 0; v < extent; ++v) {
+    bool expected = GuardHolds(c0 + cv * v, lo, hi, modulus, rem);
+    bool got = v >= r->first && v < r->second;
+    ASSERT_EQ(got, expected) << "c0=" << c0 << " cv=" << cv << " v=" << v;
+  }
+}
+
+TEST(GuardRange, PositiveAndNegativeCoefficients) {
+  CheckGuardRange(-2, 1, 0, 8, 1, 0, 10);  // pad-style prefix/suffix trim
+  CheckGuardRange(5, -1, 0, 4, 1, 0, 10);  // decreasing guard expression
+  CheckGuardRange(0, 3, 2, 11, 1, 0, 10);  // stride-3 walk through an interval
+  CheckGuardRange(-7, 2, 0, 4, 1, 0, 10);
+}
+
+TEST(GuardRange, ConstantGuard) {
+  CheckGuardRange(3, 0, 0, 8, 1, 0, 5);   // always true -> full range
+  CheckGuardRange(9, 0, 0, 8, 1, 0, 5);   // always false -> empty
+  CheckGuardRange(4, 0, 0, 8, 2, 0, 5);   // modulus satisfied
+  CheckGuardRange(3, 0, 0, 8, 2, 0, 5);   // modulus violated -> empty
+}
+
+TEST(GuardRange, ModulusAlignedCoefficient) {
+  // cv divisible by the modulus: residue constant along v, range splittable.
+  CheckGuardRange(4, 2, 0, 20, 2, 0, 12);
+  CheckGuardRange(3, 2, 0, 20, 2, 0, 12);  // residue 1 != 0 -> empty
+  CheckGuardRange(6, 4, 0, 30, 2, 0, 8);
+}
+
+TEST(GuardRange, PeriodicSubsetIsRejected) {
+  // cv % modulus != 0 selects every other iteration: not contiguous.
+  EXPECT_FALSE(ir::GuardRange(0, 1, 0, 100, 2, 0, 10).has_value());
+  EXPECT_FALSE(ir::GuardRange(5, 3, 0, 100, 2, 1, 10).has_value());
+}
+
+TEST(GuardRange, ClampsToTheIterationDomain) {
+  auto r = ir::GuardRange(0, 1, -100, 100, 1, 0, 6);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0);
+  EXPECT_EQ(r->second, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Differential corpus: affine engine vs generic fallback, bit-identical.
+// ---------------------------------------------------------------------------
+
+// Executes every program of `net` under both engines on identical physical
+// inputs and requires every buffer to match bit for bit.
+void ExpectEnginesBitIdentical(const Graph& g, const LayoutAssignment& la,
+                               const loop::LoweredNetwork& net, uint64_t seed,
+                               const std::string& tag) {
+  Rng rng(seed);
+  runtime::TensorDataMap data;
+  runtime::FillGraphInputs(g, rng, data);
+  runtime::BufferStore fast;
+  runtime::BufferStore slow;
+  for (const auto& t : g.tensors()) {
+    if (!g.IsGraphInput(t.id) && !g.IsConstant(t.id)) {
+      continue;
+    }
+    auto it = data.find(t.id);
+    ASSERT_NE(it, data.end()) << tag;
+    auto phys = runtime::Physicalize(it->second, t.shape, la.Get(t.id));
+    ASSERT_TRUE(phys.ok()) << tag << ": " << phys.status().ToString();
+    fast.Get(t.id) = *phys;
+    slow.Get(t.id) = *phys;
+  }
+  runtime::ExecOptions affine;
+  affine.engine = runtime::ExecEngine::kAffine;
+  runtime::ExecOptions generic;
+  generic.engine = runtime::ExecEngine::kGeneric;
+  for (const auto& program : net.programs) {
+    Status sa = runtime::Execute(program, fast, affine);
+    Status sg = runtime::Execute(program, slow, generic);
+    ASSERT_EQ(sa.ok(), sg.ok()) << tag << " affine=" << sa.ToString()
+                                << " generic=" << sg.ToString();
+    ASSERT_TRUE(sa.ok()) << tag << ": " << sa.ToString();
+    for (const auto& decl : program.buffers) {
+      const auto* a = fast.Find(decl.tensor.id);
+      const auto* b = slow.Find(decl.tensor.id);
+      ASSERT_NE(a, nullptr) << tag;
+      ASSERT_NE(b, nullptr) << tag;
+      ASSERT_EQ(a->size(), b->size()) << tag << " tensor " << decl.tensor.name;
+      ASSERT_EQ(std::memcmp(a->data(), b->data(), a->size() * sizeof(float)), 0)
+          << tag << " tensor " << decl.tensor.name << " differs";
+    }
+  }
+}
+
+std::vector<int64_t> RandomFactors(int64_t n, int parts, std::mt19937_64& rng) {
+  std::vector<int64_t> f(static_cast<size_t>(parts), 1);
+  for (int p = 0; p + 1 < parts; ++p) {
+    std::vector<int64_t> divs;
+    for (int64_t d = 1; d <= n; ++d) {
+      if (n % d == 0) {
+        divs.push_back(d);
+      }
+    }
+    f[p] = divs[rng() % divs.size()];
+    n /= f[p];
+  }
+  f[static_cast<size_t>(parts) - 1] = n;
+  return f;
+}
+
+loop::LoopSchedule RandomSchedule(const std::vector<int64_t>& spatial,
+                                  const std::vector<int64_t>& reduction,
+                                  std::mt19937_64& rng) {
+  loop::LoopSchedule s;
+  for (int64_t e : spatial) {
+    auto f = RandomFactors(e, 4, rng);
+    loop::SpatialAxisSchedule a;
+    a.outer = f[0];
+    a.mid = f[1];
+    a.inner = f[2];
+    a.vec = f[3];
+    s.spatial.push_back(a);
+  }
+  for (int64_t e : reduction) {
+    auto f = RandomFactors(e, 2, rng);
+    s.reduction.push_back({f[0], f[1]});
+  }
+  s.parallel_axes = static_cast<int>(rng() % 3);
+  s.inner_order_rotation =
+      spatial.empty() ? 0 : static_cast<int>(rng() % spatial.size());
+  s.unroll_inner_reduction = (rng() % 2) == 0;
+  return s;
+}
+
+// Lowers the network, scheduling the (single) complex group randomly and the
+// rest naively, then runs the differential check.
+void DifferentialConvCase(Graph& g, const LayoutAssignment& la, std::mt19937_64& rng,
+                          const std::string& tag) {
+  auto groups = loop::PartitionGraph(g, la, true);
+  loop::LoweredNetwork net;
+  net.groups = groups;
+  for (const auto& group : groups) {
+    if (graph::IsComplex(g.op(group.anchor_op).kind)) {
+      auto sig = loop::GroupSignature(g, la, group);
+      ASSERT_TRUE(sig.ok()) << tag << ": " << sig.status().ToString();
+      auto sched = RandomSchedule(sig->spatial_extents, sig->reduction_extents, rng);
+      auto prog = loop::LowerGroup(g, la, group, sched);
+      ASSERT_TRUE(prog.ok()) << tag << ": " << prog.status().ToString();
+      net.programs.push_back(std::move(*prog));
+    } else {
+      auto prog = loop::LowerGroupNaive(g, la, group);
+      ASSERT_TRUE(prog.ok()) << tag << ": " << prog.status().ToString();
+      net.programs.push_back(std::move(*prog));
+    }
+  }
+  ExpectEnginesBitIdentical(g, la, net, /*seed=*/rng(), tag);
+}
+
+class AffineDifferentialConv : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineDifferentialConv, LayoutAndScheduleCorpus) {
+  const int which = GetParam();
+  std::mt19937_64 rng(1234u + static_cast<uint64_t>(which) * 77u);
+  for (int round = 0; round < 3; ++round) {
+    Graph g("affine_diff");
+    int x = g.AddInput("x", {1, 4, 10, 10});
+    graph::PadAttrs padattrs;
+    padattrs.before = {0, 0, 1, 1};
+    padattrs.after = {0, 0, 1, 1};
+    int p = g.AddPad(x, padattrs, "pad");
+    int w = g.AddConstant("w", {8, 4, 3, 3});
+    graph::ConvAttrs attrs;
+    int c = g.AddConv(OpKind::kConv2d, p, w, attrs, "conv");
+    int b = g.AddConstant("b", {8});
+    int biased = g.AddBiasAdd(c, b, 1, "bias");
+    g.AddRelu(biased, "relu");
+    const graph::Op& conv = g.op(g.ProducerOf(c));
+
+    LayoutAssignment la;
+    switch (which) {
+      case 0:
+        break;  // canonical
+      case 1: {
+        la.Set(c, autotune::ChannelsLast(2));
+        la.Set(p, autotune::ChannelsLast(2));
+        graph::PropagateOutputLayout(g, la, c);
+        break;
+      }
+      case 2: {
+        auto blocked_out = autotune::BlockedChannels(g.tensor(c).shape, 4);
+        ASSERT_TRUE(blocked_out.ok());
+        la.Set(c, *blocked_out);
+        auto blocked_in = autotune::BlockedChannels(g.tensor(p).shape, 2);
+        ASSERT_TRUE(blocked_in.ok());
+        la.Set(p, *blocked_in);
+        graph::PropagateOutputLayout(g, la, c);
+        break;
+      }
+      case 3: {  // full ALT template: pad guards + unfolded input
+        autotune::ConvLayoutParams params;
+        params.spatial_tiles = {5, 5};
+        params.out_tile = 4;
+        params.in_tile = 2;
+        params.w_in_tile = 2;
+        params.w_out_tile = 4;
+        auto layouts = autotune::MakeConvTemplates(g, conv, params);
+        ASSERT_TRUE(layouts.ok()) << layouts.status().ToString();
+        la.Set(c, layouts->output);
+        la.Set(p, layouts->input);
+        la.Set(w, layouts->weight);
+        graph::PropagateOutputLayout(g, la, c);
+        break;
+      }
+    }
+    DifferentialConvCase(g, la, rng,
+                         "conv layout " + std::to_string(which) + " round " +
+                             std::to_string(round));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, AffineDifferentialConv, ::testing::Range(0, 4));
+
+TEST(AffineDifferential, GmmLayoutsAndSchedules) {
+  std::mt19937_64 rng(99);
+  for (int which = 0; which < 3; ++which) {
+    Graph g = graph::BuildSingleMatmul(16, 24, 32);
+    const graph::Op& op = g.op(0);
+    LayoutAssignment la;
+    if (which == 1) {
+      la.Set(op.inputs[1], autotune::TransposedB());
+    } else if (which == 2) {
+      autotune::GmmLayoutParams params{4, 8, 6};
+      auto layouts = autotune::MakeGmmTemplates(g, op, params);
+      ASSERT_TRUE(layouts.ok());
+      la.Set(op.output, layouts->c);
+      la.Set(op.inputs[0], layouts->a);
+      la.Set(op.inputs[1], layouts->b);
+    }
+    DifferentialConvCase(g, la, rng, "gmm case " + std::to_string(which));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(AffineDifferential, TransposedConvModulusGuards) {
+  graph::ConvConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 6;
+  cfg.spatial[0] = cfg.spatial[1] = 5;
+  cfg.kernel[0] = cfg.kernel[1] = 3;
+  cfg.stride = 2;
+  cfg.pad = 1;
+  Graph g = graph::BuildSingleConv(OpKind::kTransposedConv2d, cfg);
+  LayoutAssignment la;
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  ExpectEnginesBitIdentical(g, la, *net, 5, "transposed conv");
+}
+
+// Reshape delinearization chains and row-op blocks exercise the non-affine
+// bytecode fallback and singleton-store leaves.
+TEST(AffineDifferential, NonAffineFallbackNetwork) {
+  Graph g("misc");
+  int x = g.AddInput("x", {2, 4, 10, 10});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  graph::PoolAttrs mp;
+  mp.window[0] = mp.window[1] = 3;
+  mp.stride[0] = mp.stride[1] = 2;
+  int pooled = g.AddMaxPool2d(p, mp, "maxpool");
+  graph::PoolAttrs gap;
+  gap.global = true;
+  int pooled2 = g.AddAvgPool2d(pooled, gap, "gap");
+  int flat = g.AddReshape(pooled2, {2, 4}, "flatten");
+  int soft = g.AddSoftmax(flat, "softmax");
+  g.AddLayerNorm(soft, "ln");
+  LayoutAssignment la;
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  ExpectEnginesBitIdentical(g, la, *net, 21, "misc network");
+}
+
+// ---------------------------------------------------------------------------
+// Zero-init-skip semantics.
+// ---------------------------------------------------------------------------
+
+ir::Program CopyProgram(int64_t n, ir::StoreMode mode) {
+  ir::Program program;
+  ir::BufferDecl in;
+  in.tensor.id = 0;
+  in.tensor.name = "in";
+  in.tensor.shape = {n};
+  in.role = ir::BufferRole::kInput;
+  ir::BufferDecl out;
+  out.tensor.id = 1;
+  out.tensor.name = "out";
+  out.tensor.shape = {n};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {in, out};
+  ir::Expr i = ir::MakeVar("i");
+  program.root = ir::MakeFor(i, n, ir::ForKind::kSerial,
+                             ir::MakeStore(1, {i}, ir::Load(0, {i}), mode));
+  return program;
+}
+
+TEST(ZeroInitSkip, AssignFirstOverwritesStaleBuffer) {
+  ir::Program program = CopyProgram(16, ir::StoreMode::kAssign);
+  runtime::BufferStore fresh;
+  runtime::BufferStore stale;
+  std::vector<float> input(16);
+  for (int i = 0; i < 16; ++i) {
+    input[i] = static_cast<float>(i) * 0.5f;
+  }
+  fresh.Get(0) = input;
+  stale.Get(0) = input;
+  stale.Get(1).assign(16, -123.0f);  // garbage that must be overwritten
+  ASSERT_TRUE(runtime::Execute(program, fresh).ok());
+  ASSERT_TRUE(runtime::Execute(program, stale).ok());
+  EXPECT_EQ(std::memcmp(fresh.Get(1).data(), stale.Get(1).data(), 16 * sizeof(float)), 0);
+}
+
+TEST(ZeroInitSkip, AccumulateOutputsAreRezeroedEachRun) {
+  ir::Program program = CopyProgram(8, ir::StoreMode::kAccumulate);
+  runtime::BufferStore store;
+  store.Get(0) = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(runtime::Execute(program, store).ok());
+  std::vector<float> first = store.Get(1);
+  ASSERT_TRUE(runtime::Execute(program, store).ok());
+  // A reduction output relies on the zero-fill: a second run must not double.
+  EXPECT_EQ(std::memcmp(first.data(), store.Get(1).data(), 8 * sizeof(float)), 0);
+  EXPECT_EQ(store.Get(1)[0], 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Structure-keyed analysis cache in the measurement engine.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisCache, HitsOnStructurallyIdenticalPrograms) {
+  Graph g = graph::BuildSingleMatmul(12, 16, 20);
+  LayoutAssignment la;
+  auto groups = loop::PartitionGraph(g, la, true);
+  ASSERT_EQ(groups.size(), 1u);
+  auto sig = loop::GroupSignature(g, la, groups[0]);
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->spatial_extents.size(), 2u);
+  ASSERT_EQ(sig->reduction_extents.size(), 1u);
+  const int64_t e0 = sig->spatial_extents[0];
+  const int64_t e1 = sig->spatial_extents[1];
+  const int64_t er = sig->reduction_extents[0];
+
+  auto mk = [](int64_t o, int64_t m, int64_t i, int64_t v) {
+    loop::SpatialAxisSchedule a;
+    a.outer = o;
+    a.mid = m;
+    a.inner = i;
+    a.vec = v;
+    return a;
+  };
+  loop::LoopSchedule s1;
+  s1.spatial = {mk(e0, 1, 1, 1), mk(1, e1, 1, 1)};
+  s1.reduction = {{er, 1}};
+
+  // With the measurement cache off, the same schedule submitted twice is
+  // lowered twice (two fresh measurements) — but the second lowered program
+  // is structurally identical to the first, so the analysis cache answers it
+  // without a second EstimateProgram run.
+  const sim::Machine machine = sim::Machine::IntelCpu();
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;  // sequential: the second candidate must see the first
+  config.cache_enabled = false;
+  autotune::MeasureEngine engine(machine, config);
+  auto results = engine.Measure(g, la, groups[0], {s1, s1});
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  ASSERT_TRUE(results[1].status.ok()) << results[1].status.ToString();
+  EXPECT_FALSE(results[1].cache_hit);  // both were fresh measurements...
+  EXPECT_EQ(results[0].latency_us, results[1].latency_us);  // ...same analysis
+  EXPECT_EQ(engine.stats().analysis_cache_hits, 1);
+  EXPECT_EQ(engine.stats().measured, 2);
+  EXPECT_EQ(engine.analysis_cache_size(), 1);
+
+  // The cache can be disabled; latencies are unchanged.
+  autotune::MeasureEngineConfig off;
+  off.threads = 1;
+  off.cache_enabled = false;
+  off.analysis_cache = false;
+  autotune::MeasureEngine engine_off(machine, off);
+  auto results_off = engine_off.Measure(g, la, groups[0], {s1, s1});
+  ASSERT_TRUE(results_off[0].status.ok());
+  EXPECT_EQ(results_off[0].latency_us, results[0].latency_us);
+  EXPECT_EQ(results_off[1].latency_us, results[1].latency_us);
+  EXPECT_EQ(engine_off.stats().analysis_cache_hits, 0);
+  EXPECT_EQ(engine_off.analysis_cache_size(), 0);
+}
+
+}  // namespace
+}  // namespace alt
