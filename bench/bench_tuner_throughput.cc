@@ -29,9 +29,9 @@ RunResult RunTune(const graph::Graph& g, const sim::Machine& machine, int thread
   options.budget = 300;
   options.seed = 11;
   options.method = autotune::SearchMethod::kPpoPretrained;
-  options.measure_threads = threads;
-  options.measure_cache = cache;
-  options.trace_path = trace_path;
+  options.measure.threads = threads;
+  options.measure.cache = cache;
+  options.trace.path = trace_path;
   auto start = std::chrono::steady_clock::now();
   auto compiled = core::Compile(g, machine, options);
   auto wall =

@@ -11,14 +11,22 @@
 // Telemetry (alt/alt-ol/alt-wp methods only):
 //   ALT_TRACE=<path>    write a Chrome trace of the run (chrome://tracing)
 //   ALT_METRICS=<path>  write the run's metrics snapshot as JSON
+//
+// Deployment (alt/alt-ol/alt-wp methods only):
+//   --artifact <path> or ALT_ARTIFACT=<path>
+//     When the file exists: skip tuning, load the artifact, and serve one
+//     request through runtime::InferenceSession (printing its provenance).
+//     Otherwise: tune as usual, then save the artifact to that path.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/baselines/baselines.h"
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
+#include "src/runtime/session.h"
 #include "src/support/fileio.h"
 #include "src/support/string_util.h"
 
@@ -50,14 +58,64 @@ alt::graph::Graph BuildNetwork(const std::string& name) {
   std::exit(2);
 }
 
+// Serves one randomly-filled request through an InferenceSession built from
+// a loaded artifact and prints what ran.
+int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded) {
+  using namespace alt;
+  const autotune::CompiledNetwork& net = loaded.network;
+  std::printf("loaded artifact: graph %s, tuned for %s (%s, budget %d, seed %llu, "
+              "%d measurements, best %s)\n",
+              net.graph.name().c_str(), loaded.info.machine.c_str(),
+              core::VariantName(loaded.info.variant), loaded.info.budget,
+              static_cast<unsigned long long>(loaded.info.seed),
+              loaded.info.measurements_used, FormatMicros(loaded.info.best_latency_us).c_str());
+  auto session = runtime::InferenceSession::Create(net.graph, net.assignment,
+                                                   {net.groups, net.programs});
+  if (!session.ok()) {
+    std::fprintf(stderr, "session creation failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(loaded.info.seed);
+  runtime::TensorDataMap data;
+  runtime::FillGraphInputs(net.graph, rng, data);
+  auto out = session->Run(data);
+  if (!out.ok()) {
+    std::fprintf(stderr, "serving failed: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("served one request: output tensor %d, %zu elements\n",
+              session->output_tensor(), out->size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace alt;
-  std::string net_name = argc > 1 ? argv[1] : "first-layer";
-  std::string machine_name = argc > 2 ? argv[2] : "intel-cpu";
-  std::string method = argc > 3 ? argv[3] : "alt";
-  int budget = argc > 4 ? std::atoi(argv[4]) : 400;
+  std::string artifact_path = std::getenv("ALT_ARTIFACT") ? std::getenv("ALT_ARTIFACT") : "";
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--artifact" && i + 1 < argc) {
+      artifact_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  std::string net_name = pos.size() > 0 ? pos[0] : "first-layer";
+  std::string machine_name = pos.size() > 1 ? pos[1] : "intel-cpu";
+  std::string method = pos.size() > 2 ? pos[2] : "alt";
+  int budget = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 400;
+
+  if (!artifact_path.empty() && FileExists(artifact_path)) {
+    auto loaded = core::LoadArtifact(artifact_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "artifact load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    return ServeLoadedArtifact(*loaded);
+  }
 
   graph::Graph g = BuildNetwork(net_name);
   const sim::Machine& machine = sim::Machine::ByName(machine_name);
@@ -78,7 +136,7 @@ int main(int argc, char** argv) {
     core::AltOptions options;
     options.budget = budget;
     if (const char* trace = std::getenv("ALT_TRACE")) {
-      options.trace_path = trace;
+      options.trace.path = trace;
     }
     if (method == "alt-ol") {
       options.variant = core::AltVariant::kLoopOnly;
@@ -89,6 +147,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     compiled = core::Compile(g, machine, options);
+    if (compiled.ok() && !artifact_path.empty()) {
+      Status ws = core::SaveArtifact(*compiled, machine, options, artifact_path);
+      if (!ws.ok()) {
+        std::fprintf(stderr, "artifact not written: %s\n", ws.ToString().c_str());
+      } else {
+        std::printf("artifact written to %s\n", artifact_path.c_str());
+      }
+    }
   }
   if (!compiled.ok()) {
     std::fprintf(stderr, "compilation failed: %s\n", compiled.status().ToString().c_str());

@@ -36,11 +36,11 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   tuning.method = options.method;
   tuning.two_level_templates = options.two_level_templates;
   tuning.seed = options.seed;
-  tuning.measure_threads = options.measure_threads;
-  tuning.measure_cache = options.measure_cache;
-  tuning.fault_injection = options.fault_injection;
-  tuning.measure_retry = options.measure_retry;
-  tuning.trace_path = options.trace_path;
+  tuning.measure_threads = options.measure.threads;
+  tuning.measure_cache = options.measure.cache;
+  tuning.fault_injection = options.fault.injection;
+  tuning.measure_retry = options.fault.retry;
+  tuning.trace_path = options.trace.path;
   switch (options.variant) {
     case AltVariant::kFull:
       break;

@@ -1,8 +1,27 @@
-// ALT compiler facade: the public entry point.
+// ALT compiler facade: the single documented entry point for compiling,
+// persisting, and deploying tuned networks.
+//
+//   COMPILE            core::Compile(graph, machine, options)
+//   COMPILE, CRASH-SAFE core::CompileWithJournal(graph, machine, options, path)
+//                      (core/tuning_journal.h — resumes an interrupted run
+//                      from its journal, bit-identical to an uninterrupted one)
+//   SAVE / LOAD        core::SaveArtifact / core::LoadArtifact
+//                      (core/artifact.h — versioned CRC-framed on-disk format;
+//                      a loaded artifact re-lowers to the exact programs the
+//                      tuner produced, no re-tuning)
+//   SERVE              runtime::InferenceSession (runtime/session.h —
+//                      compile-once / run-many execution of a CompiledNetwork
+//                      or loaded artifact)
 //
 //   graph::Graph g = graph::BuildResNet18(1);
 //   core::AltOptions options;
 //   auto compiled = core::Compile(g, sim::Machine::IntelCpu(), options);
+//   core::SaveArtifact(*compiled, sim::Machine::IntelCpu(), options, "net.altart");
+//   ...
+//   auto loaded = core::LoadArtifact("net.altart");
+//   auto session = runtime::InferenceSession::Create(
+//       loaded->network.graph, loaded->network.assignment,
+//       {loaded->network.groups, loaded->network.programs});
 //
 // Variants mirror the paper's ablations (§7.2):
 //   * kFull — joint layout + loop tuning with full propagation (ALT).
@@ -23,6 +42,29 @@ enum class AltVariant { kFull, kLoopOnly, kWithoutPropagation };
 
 const char* VariantName(AltVariant variant);
 
+// Measurement-engine knobs (see autotune/measure.h).
+struct MeasureOptions {
+  // Candidate lowering + estimation threads (<= 0: one per core).
+  int threads = 1;
+  // Memoize measurements keyed by (layout, schedule) serialization.
+  bool cache = true;
+};
+
+// Fault-tolerance knobs (see autotune/measure.h): simulated transient
+// measurement failures and the retry policy that absorbs them.
+struct FaultOptions {
+  FaultInjector::Options injection;
+  autotune::RetryPolicy retry;
+};
+
+// Observability knobs (see support/trace.h).
+struct TraceOptions {
+  // When non-empty, the run records a span trace (tuner phases, measurement
+  // batches, PPO updates, journal writes) and writes it to this path as
+  // Chrome trace-event JSON (see autotune::TuningOptions::trace_path).
+  std::string path;
+};
+
 struct AltOptions {
   int budget = 600;
   double joint_fraction = 0.3;
@@ -30,18 +72,9 @@ struct AltOptions {
   autotune::SearchMethod method = autotune::SearchMethod::kPpoPretrained;
   bool two_level_templates = false;
   uint64_t seed = 1;
-  // Measurement engine knobs (see autotune/measure.h): candidate lowering +
-  // estimation threads (<= 0: one per core) and measurement memoization.
-  int measure_threads = 1;
-  bool measure_cache = true;
-  // Fault-tolerance knobs (see autotune/measure.h): simulated transient
-  // measurement failures and the retry policy that absorbs them.
-  FaultInjector::Options fault_injection;
-  autotune::RetryPolicy measure_retry;
-  // When non-empty, the run records a span trace (tuner phases, measurement
-  // batches, PPO updates, journal writes) and writes it to this path as
-  // Chrome trace-event JSON (see autotune::TuningOptions::trace_path).
-  std::string trace_path;
+  MeasureOptions measure;
+  FaultOptions fault;
+  TraceOptions trace;
 };
 
 // Maps the facade options onto the tuner's options (variant selection, shared
@@ -59,5 +92,11 @@ StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
 const std::vector<double>& SharedPretrainedAgent(const sim::Machine& machine);
 
 }  // namespace alt::core
+
+// Aggregated facade: pulling in alt.h gives the full compile / persist /
+// resume surface. Both headers include alt.h themselves, so these must come
+// after the declarations above (the include guards make the cycle benign).
+#include "src/core/artifact.h"        // SaveArtifact / LoadArtifact
+#include "src/core/tuning_journal.h"  // CompileWithJournal / ResumeFromJournal
 
 #endif  // ALT_CORE_ALT_H_

@@ -18,34 +18,6 @@ namespace alt::core {
 
 namespace {
 
-std::string Frame(const std::string& payload) {
-  char crc[16];
-  std::snprintf(crc, sizeof(crc), "%08x ", Crc32(payload));
-  return crc + payload;
-}
-
-// Splits "<crc32-hex-8> <payload>" and verifies the checksum.
-bool Unframe(std::string_view line, std::string* payload) {
-  if (line.size() < 10 || line[8] != ' ') {
-    return false;
-  }
-  uint32_t crc = 0;
-  for (int i = 0; i < 8; ++i) {
-    char c = line[i];
-    uint32_t digit;
-    if (c >= '0' && c <= '9') {
-      digit = c - '0';
-    } else if (c >= 'a' && c <= 'f') {
-      digit = 10 + (c - 'a');
-    } else {
-      return false;
-    }
-    crc = (crc << 4) | digit;
-  }
-  *payload = std::string(line.substr(9));
-  return Crc32(*payload) == crc;
-}
-
 std::string FormatDouble(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips bit-exactly
@@ -156,7 +128,7 @@ uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machin
   for (const auto& t : graph.tensors()) {
     oss << ir::ShapeToString(t.shape) << ";";
   }
-  // Every trajectory-affecting option. measure_threads is intentionally
+  // Every trajectory-affecting option. measure.threads is intentionally
   // absent (see header); wall-clock-only knobs like backoff_base_ms are
   // included anyway for simplicity — changing them mid-run is unusual enough
   // that refusing to resume is the safer default.
@@ -164,13 +136,13 @@ uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machin
       << ";variant=" << static_cast<int>(options.variant)
       << ";method=" << static_cast<int>(options.method)
       << ";two_level=" << (options.two_level_templates ? 1 : 0)
-      << ";seed=" << options.seed << ";cache=" << (options.measure_cache ? 1 : 0)
-      << ";frate=" << FormatDouble(options.fault_injection.failure_rate)
-      << ";fseed=" << options.fault_injection.seed
-      << ";ffirst=" << options.fault_injection.always_fail_first
-      << ";retries=" << options.measure_retry.max_attempts
-      << ";backoff=" << options.measure_retry.backoff_base_ms << ","
-      << options.measure_retry.backoff_cap_ms;
+      << ";seed=" << options.seed << ";cache=" << (options.measure.cache ? 1 : 0)
+      << ";frate=" << FormatDouble(options.fault.injection.failure_rate)
+      << ";fseed=" << options.fault.injection.seed
+      << ";ffirst=" << options.fault.injection.always_fail_first
+      << ";retries=" << options.fault.retry.max_attempts
+      << ";backoff=" << options.fault.retry.backoff_base_ms << ","
+      << options.fault.retry.backoff_cap_ms;
   return Fnv1a64(oss.str());
 }
 
@@ -189,7 +161,7 @@ StatusOr<TuningJournalContents> LoadTuningJournal(const std::string& path) {
       break;  // torn final line (no terminator): part of the discarded tail
     }
     std::string payload;
-    if (!Unframe(std::string_view(data).substr(pos, nl - pos), &payload) ||
+    if (!UnframeLine(std::string_view(data).substr(pos, nl - pos), &payload) ||
         !ApplyPayload(payload, first, &out)) {
       break;  // first bad line ends the valid prefix
     }
@@ -223,7 +195,7 @@ void TuningJournalWriter::Append(const std::string& payload) {
   if (!status_.ok()) {
     return;  // sticky failure: journal is dead, tuning proceeds unjournaled
   }
-  const std::string framed = Frame(payload);
+  const std::string framed = FrameLine(payload);
   // AppendLine write+flushes, so this histogram is the per-record durability
   // cost — the journal's share of tuning wall time (bench_tuning_resume
   // budgets it at <2%).

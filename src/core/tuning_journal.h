@@ -66,7 +66,7 @@ struct TuningJournalContents {
 
 // Stable fingerprint of everything the tuning trajectory depends on: the
 // graph structure, the machine, and every trajectory-affecting option.
-// Deliberately EXCLUDES measure_threads — the engine reduces measurements in
+// Deliberately EXCLUDES measure.threads — the engine reduces measurements in
 // candidate order, so any thread count replays the same trajectory and a
 // journal written with 8 threads may be resumed with 1.
 uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machine,

@@ -227,6 +227,53 @@ int Graph::AddCustomOp(Op op, std::vector<int64_t> output_shape, const std::stri
   return AddOpNode(std::move(op), std::move(output_shape), tensor_name);
 }
 
+StatusOr<Graph> Graph::FromParts(std::string name, std::vector<ir::Tensor> tensors,
+                                 std::vector<Op> ops, std::vector<bool> is_const) {
+  const int num_tensors = static_cast<int>(tensors.size());
+  if (is_const.size() != tensors.size()) {
+    return Status::InvalidArgument("graph parts: is_const/tensor count mismatch");
+  }
+  std::vector<int> producer(tensors.size(), -1);
+  for (int i = 0; i < num_tensors; ++i) {
+    if (tensors[i].id != i) {
+      return Status::InvalidArgument("graph parts: non-contiguous tensor ids");
+    }
+    for (int64_t d : tensors[i].shape) {
+      if (d <= 0) {
+        return Status::InvalidArgument("graph parts: non-positive extent in tensor " +
+                                       tensors[i].name);
+      }
+    }
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Op& op = ops[i];
+    if (op.id != static_cast<int>(i)) {
+      return Status::InvalidArgument("graph parts: non-contiguous op ids");
+    }
+    if (op.output < 0 || op.output >= num_tensors) {
+      return Status::InvalidArgument("graph parts: op output out of range");
+    }
+    if (producer[op.output] >= 0) {
+      return Status::InvalidArgument("graph parts: tensor produced twice");
+    }
+    if (is_const[op.output]) {
+      return Status::InvalidArgument("graph parts: constant tensor has a producer");
+    }
+    producer[op.output] = op.id;
+    for (int in : op.inputs) {
+      if (in < 0 || in >= num_tensors) {
+        return Status::InvalidArgument("graph parts: op input out of range");
+      }
+    }
+  }
+  Graph g(std::move(name));
+  g.tensors_ = std::move(tensors);
+  g.ops_ = std::move(ops);
+  g.producer_ = std::move(producer);
+  g.is_const_.assign(is_const.begin(), is_const.end());
+  return g;
+}
+
 std::vector<int> Graph::ConsumersOf(int tensor_id) const {
   std::vector<int> out;
   for (const auto& op : ops_) {

@@ -52,6 +52,16 @@ class Graph {
   // Used by layout propagation to insert conversion operators.
   int AddCustomOp(Op op, std::vector<int64_t> output_shape, const std::string& tensor_name);
 
+  // Restores a graph from previously serialized parts (artifact loading).
+  // Unlike the Add* helpers this performs no shape inference — a tuned graph
+  // contains inserted conversion ops whose inputs may reference later tensor
+  // ids, so it cannot be rebuilt by replaying construction. All structural
+  // invariants (contiguous ids, in-range references, positive extents, one
+  // producer per tensor) are validated with Status, never aborts: the parts
+  // come from untrusted files.
+  static StatusOr<Graph> FromParts(std::string name, std::vector<ir::Tensor> tensors,
+                                   std::vector<Op> ops, std::vector<bool> is_const);
+
   // --- access ---
 
   const std::vector<Op>& ops() const { return ops_; }

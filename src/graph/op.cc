@@ -76,6 +76,24 @@ const char* OpKindName(OpKind kind) {
   return "?";
 }
 
+StatusOr<OpKind> OpKindFromName(const std::string& name) {
+  static constexpr OpKind kAll[] = {
+      OpKind::kInput,         OpKind::kConv1d,          OpKind::kConv2d,
+      OpKind::kConv3d,        OpKind::kTransposedConv2d, OpKind::kTransposedConv3d,
+      OpKind::kMatmul,        OpKind::kPad,             OpKind::kBiasAdd,
+      OpKind::kRelu,          OpKind::kGelu,            OpKind::kAddTensors,
+      OpKind::kMulScalar,     OpKind::kMaxPool2d,       OpKind::kAvgPool2d,
+      OpKind::kSoftmax,       OpKind::kReshape,         OpKind::kLayerNorm,
+      OpKind::kIdentity,      OpKind::kLayoutConvert,
+  };
+  for (OpKind kind : kAll) {
+    if (name == OpKindName(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown op kind '" + name + "'");
+}
+
 std::string OperatorLabel(const Op& op, int64_t in_channels) {
   switch (op.kind) {
     case OpKind::kConv1d:

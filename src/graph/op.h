@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/status.h"
+
 namespace alt::graph {
 
 enum class OpKind {
@@ -87,6 +89,10 @@ bool IsComplex(OpKind kind);
 bool IsElementwise(OpKind kind);
 
 const char* OpKindName(OpKind kind);
+
+// Inverse of OpKindName for artifact deserialization. Unknown names (from a
+// newer or corrupt artifact) are an error, never an abort.
+StatusOr<OpKind> OpKindFromName(const std::string& name);
 
 // Classified operator label used in the single-operator benchmark (Fig. 9):
 // distinguishes C2D / GRP / DEP / DIL via attributes.

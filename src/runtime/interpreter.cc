@@ -943,14 +943,41 @@ void CollectFirstStores(const ir::Stmt& s, std::unordered_map<int, ir::StoreMode
 
 }  // namespace
 
-Status Execute(const ir::Program& program, BufferStore& store) {
-  return Execute(program, store, ExecOptions());
-}
+// All compiled state for one prepared program. The AffinePlan's leaves hold
+// pointers into the PlanNode tree (`bytecode`, `eval`), so the tree is moved
+// into place here BEFORE the affine build runs, and the whole Impl lives
+// behind a unique_ptr that never relocates it.
+struct PreparedProgram::Impl {
+  struct InputCheck {
+    const std::vector<float>* buffer = nullptr;
+    int64_t size = 0;
+    std::string name;
+  };
+  struct ZeroFill {
+    std::vector<float>* buffer = nullptr;
+  };
+  // Inputs/constants re-validated on every Run (the caller owns their fill).
+  std::vector<InputCheck> input_checks;
+  // Accumulate-first outputs/intermediates re-zeroed on every Run.
+  std::vector<ZeroFill> zero_fills;
+  bool has_root = false;
+  bool use_affine = false;
+  size_t env_size = 0;
+  PlanNode plan;
+  AffinePlan affine;
+};
 
-Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options) {
-  TraceSpan span("interp.execute");
-  static Counter& executions = MetricsRegistry::Global().counter("interp.programs");
-  executions.Add();
+PreparedProgram::PreparedProgram() = default;
+PreparedProgram::PreparedProgram(PreparedProgram&&) noexcept = default;
+PreparedProgram& PreparedProgram::operator=(PreparedProgram&&) noexcept = default;
+PreparedProgram::~PreparedProgram() = default;
+
+StatusOr<PreparedProgram> PreparedProgram::Prepare(const ir::Program& program,
+                                                   BufferStore& store,
+                                                   const ExecOptions& options) {
+  PreparedProgram prepared;
+  prepared.impl_ = std::make_unique<Impl>();
+  Impl& impl = *prepared.impl_;
   std::unordered_map<int, ir::StoreMode> first_store;
   if (program.root) {
     CollectFirstStores(program.root, first_store);
@@ -970,6 +997,7 @@ Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions
           return Status::FailedPrecondition("input buffer " + decl.tensor.name +
                                             " missing or mis-sized");
         }
+        impl.input_checks.push_back({&buf, n, decl.tensor.name});
         break;
       case ir::BufferRole::kOutput:
       case ir::BufferRole::kIntermediate: {
@@ -980,6 +1008,7 @@ Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions
           buf.resize(n);
         } else {
           buf.assign(n, 0.0f);
+          impl.zero_fills.push_back({&buf});
         }
         break;
       }
@@ -987,27 +1016,22 @@ Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions
     bindings[decl.tensor.id] = {&buf, n};
   }
   if (!program.root) {
-    return Status::Ok();
+    return prepared;
   }
   Compiler compiler;
   compiler.bindings = &bindings;
   compiler.program = &program;
-  PlanNode plan = compiler.CompileStmt(program.root);
+  impl.plan = compiler.CompileStmt(program.root);
   if (!compiler.status.ok()) {
     return compiler.status;
   }
-  std::vector<int64_t> env(compiler.slots.size(), 0);
-  ExecContext ctx;
-  if (options.engine == ExecEngine::kGeneric) {
-    static Counter& generic = MetricsRegistry::Global().counter("interp.generic_programs");
-    generic.Add();
-    ExecNode(plan, env.data(), ctx);
-  } else {
-    static Counter& affine = MetricsRegistry::Global().counter("interp.affine_programs");
-    affine.Add();
+  impl.has_root = true;
+  impl.env_size = compiler.slots.size();
+  impl.use_affine = options.engine != ExecEngine::kGeneric;
+  if (impl.use_affine) {
     AffineBuilder builder;
     builder.compiler = &compiler;
-    builder.Build(program.root, plan);
+    builder.Build(program.root, impl.plan);
     if (!compiler.status.ok()) {
       return compiler.status;  // select-branch compiles share the error state
     }
@@ -1016,10 +1040,54 @@ Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions
         MetricsRegistry::Global().counter("interp.bytecode_leaves");
     kernel_leaves.Add(static_cast<uint64_t>(builder.plan.kernel_leaves));
     bytecode_leaves.Add(static_cast<uint64_t>(builder.plan.bytecode_leaves));
-    std::vector<int64_t> acc = builder.plan.acc_init;
-    RunAffine(builder.plan, acc, env.data(), ctx);
+    impl.affine = std::move(builder.plan);
+  }
+  return prepared;
+}
+
+Status PreparedProgram::Run() {
+  Impl& impl = *impl_;
+  static Counter& executions = MetricsRegistry::Global().counter("interp.programs");
+  executions.Add();
+  for (const auto& c : impl.input_checks) {
+    if (static_cast<int64_t>(c.buffer->size()) != c.size) {
+      return Status::FailedPrecondition("input buffer " + c.name + " missing or mis-sized");
+    }
+  }
+  // std::fill (not assign) so the buffer provably never reallocates — the
+  // compiled plans hold its data() pointer.
+  for (const auto& z : impl.zero_fills) {
+    std::fill(z.buffer->begin(), z.buffer->end(), 0.0f);
+  }
+  if (!impl.has_root) {
+    return Status::Ok();
+  }
+  std::vector<int64_t> env(impl.env_size, 0);
+  ExecContext ctx;
+  if (!impl.use_affine) {
+    static Counter& generic = MetricsRegistry::Global().counter("interp.generic_programs");
+    generic.Add();
+    ExecNode(impl.plan, env.data(), ctx);
+  } else {
+    static Counter& affine = MetricsRegistry::Global().counter("interp.affine_programs");
+    affine.Add();
+    std::vector<int64_t> acc = impl.affine.acc_init;
+    RunAffine(impl.affine, acc, env.data(), ctx);
   }
   return ctx.error;
+}
+
+Status Execute(const ir::Program& program, BufferStore& store) {
+  return Execute(program, store, ExecOptions());
+}
+
+Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options) {
+  TraceSpan span("interp.execute");
+  auto prepared = PreparedProgram::Prepare(program, store, options);
+  if (!prepared.ok()) {
+    return prepared.status();
+  }
+  return prepared->Run();
 }
 
 }  // namespace alt::runtime

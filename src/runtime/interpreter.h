@@ -18,6 +18,7 @@
 #ifndef ALT_RUNTIME_INTERPRETER_H_
 #define ALT_RUNTIME_INTERPRETER_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -51,10 +52,38 @@ struct ExecOptions {
   ExecEngine engine = ExecEngine::kAuto;
 };
 
-// Executes `program` against `store`. Buffers for inputs/constants must be
-// present and correctly sized; outputs and intermediates are allocated up
-// front in one pass before plan compilation (zero-filled only when the
-// program's first write to them accumulates).
+// A program compiled once against a fixed BufferStore, executable many times.
+//
+// Prepare() performs everything Execute() used to do per call except the
+// execution itself: buffer allocation/validation, generic plan compilation,
+// and affine plan construction. The compiled plans capture raw pointers into
+// `store`'s buffers, so between Prepare() and the last Run() the store must
+// stay alive and its buffers must never be erased or resized. Run() re-zeros
+// only the accumulate-first output/intermediate buffers (via std::fill — no
+// reallocation) and executes; repeated Runs on the same inputs are
+// bit-identical to repeated one-shot Execute() calls.
+class PreparedProgram {
+ public:
+  PreparedProgram(PreparedProgram&&) noexcept;
+  PreparedProgram& operator=(PreparedProgram&&) noexcept;
+  ~PreparedProgram();
+
+  static StatusOr<PreparedProgram> Prepare(const ir::Program& program, BufferStore& store,
+                                           const ExecOptions& options = ExecOptions());
+
+  Status Run();
+
+ private:
+  PreparedProgram();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Executes `program` against `store` (Prepare + Run in one shot). Buffers for
+// inputs/constants must be present and correctly sized; outputs and
+// intermediates are allocated up front in one pass before plan compilation
+// (zero-filled only when the program's first write to them accumulates).
 Status Execute(const ir::Program& program, BufferStore& store);
 Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options);
 

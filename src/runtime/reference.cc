@@ -1,5 +1,6 @@
 #include "src/runtime/reference.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -338,11 +339,17 @@ Status ExecuteReference(const Graph& graph, TensorDataMap& data) {
   return Status::Ok();
 }
 
-StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
-                                         const std::vector<int64_t>& canonical_shape,
-                                         const layout::LayoutSeq& seq) {
+StatusOr<ConversionPlan> BuildConversionPlan(const std::vector<int64_t>& canonical_shape,
+                                             const layout::LayoutSeq& seq) {
+  ConversionPlan plan;
+  plan.canonical_size = 1;
+  for (int64_t d : canonical_shape) {
+    plan.canonical_size *= d;
+  }
   if (seq.empty()) {
-    return canonical;
+    plan.identity = true;
+    plan.physical_size = plan.canonical_size;
+    return plan;
   }
   std::vector<int64_t> phys_shape = canonical_shape;
   ALT_RETURN_IF_ERROR(seq.ApplyToShape(phys_shape));
@@ -372,7 +379,11 @@ StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
   for (int64_t d : phys_shape) {
     total *= d;
   }
-  std::vector<float> phys(total, 0.0f);
+  plan.physical_size = total;
+  if (total <= 0) {
+    return plan;
+  }
+  plan.src.resize(total);
   std::vector<int64_t> idx(phys_shape.size(), 0);
   std::vector<int64_t> env(slots.size(), 0);
   int64_t off = 0;
@@ -390,7 +401,7 @@ StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
       }
       coff += c * canon_strides[d];
     }
-    phys[off] = in_range ? canonical[coff] : 0.0f;
+    plan.src[off] = in_range ? coff : -1;
     ++off;
     int d = static_cast<int>(idx.size()) - 1;
     while (d >= 0 && ++idx[d] == phys_shape[d]) {
@@ -400,72 +411,60 @@ StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
       break;
     }
   }
+  return plan;
+}
+
+void PhysicalizeWithPlan(const ConversionPlan& plan, const float* canonical,
+                         float* physical) {
+  if (plan.identity) {
+    std::copy(canonical, canonical + plan.canonical_size, physical);
+    return;
+  }
+  for (int64_t off = 0; off < plan.physical_size; ++off) {
+    int64_t s = plan.src[off];
+    physical[off] = s >= 0 ? canonical[s] : 0.0f;
+  }
+}
+
+void CanonicalizeWithPlan(const ConversionPlan& plan, const float* physical,
+                          float* canonical) {
+  if (plan.identity) {
+    std::copy(physical, physical + plan.physical_size, canonical);
+    return;
+  }
+  // Zero-fill, then scatter in physical-offset order: duplicated canonical
+  // elements (unfold) are overwritten repeatedly, last physical copy wins —
+  // the exact write order of the original one-shot loop.
+  std::fill(canonical, canonical + plan.canonical_size, 0.0f);
+  for (int64_t off = 0; off < plan.physical_size; ++off) {
+    int64_t s = plan.src[off];
+    if (s >= 0) {
+      canonical[s] = physical[off];
+    }
+  }
+}
+
+StatusOr<std::vector<float>> Physicalize(const std::vector<float>& canonical,
+                                         const std::vector<int64_t>& canonical_shape,
+                                         const layout::LayoutSeq& seq) {
+  auto plan = BuildConversionPlan(canonical_shape, seq);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  std::vector<float> phys(plan->physical_size, 0.0f);
+  PhysicalizeWithPlan(*plan, canonical.data(), phys.data());
   return phys;
 }
 
 StatusOr<std::vector<float>> Canonicalize(const std::vector<float>& physical,
                                           const std::vector<int64_t>& canonical_shape,
                                           const layout::LayoutSeq& seq) {
-  if (seq.empty()) {
-    return physical;
+  auto plan = BuildConversionPlan(canonical_shape, seq);
+  if (!plan.ok()) {
+    return plan.status();
   }
-  std::vector<int64_t> phys_shape = canonical_shape;
-  ALT_RETURN_IF_ERROR(seq.ApplyToShape(phys_shape));
-
-  std::vector<ir::Expr> vars;
-  ir::VarSlotMap slots;
-  for (size_t d = 0; d < phys_shape.size(); ++d) {
-    vars.push_back(ir::MakeVar("p" + std::to_string(d)));
-    slots.AddVar(vars.back()->var_id);
-  }
-  auto inv = seq.MapInverse(canonical_shape, vars);
-  if (!inv.ok()) {
-    return inv.status();
-  }
-  std::vector<ir::CompiledExpr> compiled;
-  for (const auto& e : *inv) {
-    auto ce = ir::CompiledExpr::Compile(e, slots);
-    if (!ce.ok()) {
-      return ce.status();
-    }
-    compiled.push_back(std::move(*ce));
-  }
-
-  auto canon_strides = ir::RowMajorStrides(canonical_shape);
-  int64_t canon_total = 1;
-  for (int64_t d : canonical_shape) {
-    canon_total *= d;
-  }
-  std::vector<float> canonical(canon_total, 0.0f);
-  std::vector<int64_t> idx(phys_shape.size(), 0);
-  std::vector<int64_t> env(slots.size(), 0);
-  int64_t off = 0;
-  for (;;) {
-    for (size_t d = 0; d < idx.size(); ++d) {
-      env[slots.SlotOf(vars[d]->var_id)] = idx[d];
-    }
-    bool in_range = true;
-    int64_t coff = 0;
-    for (size_t d = 0; d < canonical_shape.size(); ++d) {
-      int64_t c = compiled[d].Eval(env.data());
-      if (c < 0 || c >= canonical_shape[d]) {
-        in_range = false;
-        break;
-      }
-      coff += c * canon_strides[d];
-    }
-    if (in_range) {
-      canonical[coff] = physical[off];
-    }
-    ++off;
-    int d = static_cast<int>(idx.size()) - 1;
-    while (d >= 0 && ++idx[d] == phys_shape[d]) {
-      idx[d--] = 0;
-    }
-    if (d < 0) {
-      break;
-    }
-  }
+  std::vector<float> canonical(plan->canonical_size, 0.0f);
+  CanonicalizeWithPlan(*plan, physical.data(), canonical.data());
   return canonical;
 }
 

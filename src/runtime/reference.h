@@ -27,6 +27,31 @@ void FillGraphInputs(const graph::Graph& graph, Rng& rng, TensorDataMap& data);
 // Runs every op in topological order on canonical-layout buffers.
 Status ExecuteReference(const graph::Graph& graph, TensorDataMap& data);
 
+// Precompiled canonical<->physical index map for one (shape, primitive
+// sequence) pair. Building it walks the physical domain once through the
+// sequence's compiled MapInverse exprs — the expensive part of layout
+// conversion — so a serving session can pay that cost at construction and
+// reduce every later conversion to a gather/scatter over `src`.
+struct ConversionPlan {
+  bool identity = false;   // empty sequence: conversion is a plain copy
+  int64_t canonical_size = 0;
+  int64_t physical_size = 0;
+  // Per physical offset (row-major), the canonical offset it mirrors, or -1
+  // for zero-filled elements (padding / unfold overhang).
+  std::vector<int64_t> src;
+};
+
+StatusOr<ConversionPlan> BuildConversionPlan(const std::vector<int64_t>& canonical_shape,
+                                             const layout::LayoutSeq& seq);
+
+// Applies a plan. Both directions preserve the exact element order of the
+// one-shot Physicalize/Canonicalize below (which are now thin wrappers), so
+// planned and unplanned conversions are bit-identical. Buffers must match
+// the plan's sizes; `physical` is fully written, `canonical` is zero-filled
+// before the scatter (duplicated elements overwrite in physical order).
+void PhysicalizeWithPlan(const ConversionPlan& plan, const float* canonical, float* physical);
+void CanonicalizeWithPlan(const ConversionPlan& plan, const float* physical, float* canonical);
+
 // Converts a canonical buffer into its physical layout (applying a primitive
 // sequence): iterates the physical domain, maps back through MapInverse, and
 // copies (duplicating under unfold, zero-filling padding/overhang).

@@ -1,59 +1,125 @@
 #include "src/runtime/session.h"
 
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "src/support/logging.h"
+#include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
 namespace alt::runtime {
 
-StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
-                                               const graph::LayoutAssignment& assignment,
-                                               const loop::LoweredNetwork& net,
-                                               const TensorDataMap& canonical_data) {
-  TraceSpan session_span("session.run");
-  // An empty lowering is invalid: fail fast, before physicalizing inputs and
-  // executing programs (and before net.groups.back() below would be UB).
+namespace {
+
+// One complete execution context: private buffers plus the programs prepared
+// against them. Exactly one in-flight Run owns an arena at a time.
+struct Arena {
+  BufferStore store;
+  std::vector<PreparedProgram> programs;
+};
+
+// Canonical data fed into the arena at the start of every Run.
+struct FeedSpec {
+  int tensor_id = -1;
+  std::string name;
+  ConversionPlan plan;
+};
+
+// store_at materialization (paper §4.1.2): a host tensor whose sequence is
+// exactly [store_at(src, k)] carries the source's values in its appended
+// slice. `host_offsets[i]` is the host physical offset of source element i.
+struct StoreAtSpec {
+  int host_id = -1;
+  int src_id = -1;
+  std::vector<int64_t> host_offsets;
+};
+
+}  // namespace
+
+struct InferenceSession::Impl {
+  graph::Graph graph;
+  graph::LayoutAssignment assignment;
+  loop::LoweredNetwork net;
+  SessionOptions options;
+
+  std::vector<FeedSpec> feeds;
+  std::vector<StoreAtSpec> store_ats;
+  int out_id = -1;
+  ConversionPlan out_plan;
+
+  // Arena pool: idle arenas, guarded by `mu`. Grows to peak concurrency.
+  mutable std::mutex mu;
+  mutable std::vector<std::unique_ptr<Arena>> free_arenas;
+  mutable int total_arenas = 0;
+
+  StatusOr<std::unique_ptr<Arena>> NewArena() const {
+    auto arena = std::make_unique<Arena>();
+    // Pre-size every feed buffer so PreparedProgram::Prepare sees correctly
+    // sized inputs/constants; values are written per Run.
+    for (const FeedSpec& f : feeds) {
+      arena->store.Get(f.tensor_id).assign(f.plan.physical_size, 0.0f);
+    }
+    // Prepare in execution order: each program allocates its outputs, which
+    // later programs validate as their inputs.
+    for (const auto& program : net.programs) {
+      auto prepared = PreparedProgram::Prepare(program, arena->store, options.exec);
+      if (!prepared.ok()) {
+        return prepared.status();
+      }
+      arena->programs.push_back(std::move(*prepared));
+    }
+    return arena;
+  }
+};
+
+StatusOr<InferenceSession> InferenceSession::Create(const graph::Graph& graph,
+                                                    const graph::LayoutAssignment& assignment,
+                                                    const loop::LoweredNetwork& net,
+                                                    const SessionOptions& options) {
+  // An empty lowering is invalid: fail fast, before net.groups.back() below
+  // would be UB.
   if (net.groups.empty()) {
     return Status::InvalidArgument("empty network");
   }
-  BufferStore store;
-  // Physicalize graph inputs and constants.
+  auto impl = std::make_shared<Impl>();
+  impl->graph = graph;
+  impl->assignment = assignment;
+  impl->net = net;
+  impl->options = options;
+
+  // Cache a conversion plan per graph input / constant (tensor order — the
+  // same order the deprecated free function checked for missing data).
   for (const auto& t : graph.tensors()) {
     if (!graph.IsGraphInput(t.id) && !graph.IsConstant(t.id)) {
       continue;
     }
-    auto it = canonical_data.find(t.id);
-    if (it == canonical_data.end()) {
-      return Status::FailedPrecondition("missing canonical data for tensor " + t.name);
+    auto plan = BuildConversionPlan(t.shape, assignment.Get(t.id));
+    if (!plan.ok()) {
+      return plan.status();
     }
-    auto phys = Physicalize(it->second, t.shape, assignment.Get(t.id));
-    if (!phys.ok()) {
-      return phys.status();
-    }
-    store.Get(t.id) = std::move(*phys);
+    impl->feeds.push_back({t.id, t.name, std::move(*plan)});
   }
-  // Materialize store_at slices: a host tensor whose sequence is exactly
-  // [store_at(src, k)] carries the source's values in its appended slice
-  // (paper §4.1.2: e.g. a bias vector attached to a weight matrix).
+
+  // Precompute host offsets for store_at slices.
   for (const auto& t : graph.tensors()) {
     const layout::LayoutSeq& seq = assignment.Get(t.id);
     if (seq.size() != 1 || seq.primitives()[0].kind != layout::PrimitiveKind::kStoreAt) {
       continue;
     }
-    int src_id = seq.primitives()[0].store_src_tensor;
+    StoreAtSpec spec;
+    spec.host_id = t.id;
+    spec.src_id = seq.primitives()[0].store_src_tensor;
     int dim = seq.primitives()[0].dim;
-    auto src_it = canonical_data.find(src_id);
-    if (src_it == canonical_data.end()) {
-      return Status::FailedPrecondition("store_at source data missing");
-    }
-    auto& host = store.Get(t.id);
     std::vector<int64_t> phys_shape = t.shape;
     phys_shape[dim] += 1;
     auto strides = ir::RowMajorStrides(phys_shape);
-    // Iterate the source domain (host canonical shape minus `dim`).
+    // Iterate the source domain (host canonical shape minus `dim`) in the
+    // exact order of the original materialization loop.
     std::vector<int64_t> src_shape = t.shape;
     src_shape.erase(src_shape.begin() + dim);
     std::vector<int64_t> idx(src_shape.size(), 0);
-    int64_t off = 0;
     for (;;) {
       int64_t host_off = t.shape[dim] * strides[dim];
       int sd = 0;
@@ -63,7 +129,7 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
         }
         host_off += idx[sd++] * strides[d];
       }
-      host[host_off] = src_it->second[off++];
+      spec.host_offsets.push_back(host_off);
       int d = static_cast<int>(idx.size()) - 1;
       while (d >= 0 && ++idx[d] == src_shape[d]) {
         idx[d--] = 0;
@@ -72,24 +138,162 @@ StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
         break;
       }
     }
+    impl->store_ats.push_back(std::move(spec));
   }
-  for (const auto& program : net.programs) {
+
+  impl->out_id = net.groups.back().OutputTensor(graph);
+  const auto& out_tensor = graph.tensor(impl->out_id);
+  auto out_plan = BuildConversionPlan(out_tensor.shape, assignment.Get(impl->out_id));
+  if (!out_plan.ok()) {
+    return out_plan.status();
+  }
+  impl->out_plan = std::move(*out_plan);
+
+  // Build the first arena eagerly so plan-compilation errors surface here.
+  auto arena = impl->NewArena();
+  if (!arena.ok()) {
+    return arena.status();
+  }
+  impl->free_arenas.push_back(std::move(*arena));
+  impl->total_arenas = 1;
+
+  InferenceSession session;
+  session.impl_ = std::move(impl);
+  return session;
+}
+
+StatusOr<std::vector<float>> InferenceSession::Run(const TensorDataMap& canonical_data) const {
+  TraceSpan session_span("session.run");
+  static Counter& runs = MetricsRegistry::Global().counter("session.runs");
+  static Histogram& run_us = MetricsRegistry::Global().histogram("session.run_us");
+  const int64_t start_ns = TraceRecorder::NowNs();
+  Impl& impl = *impl_;
+
+  // Borrow an idle arena; build a fresh one (outside the lock) when every
+  // existing arena is serving another caller.
+  std::unique_ptr<Arena> arena;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    if (!impl.free_arenas.empty()) {
+      arena = std::move(impl.free_arenas.back());
+      impl.free_arenas.pop_back();
+    }
+  }
+  if (arena == nullptr) {
+    auto fresh = impl.NewArena();
+    if (!fresh.ok()) {
+      return fresh.status();
+    }
+    arena = std::move(*fresh);
+    std::lock_guard<std::mutex> lock(impl.mu);
+    ++impl.total_arenas;
+  }
+  struct Release {
+    Impl* impl;
+    std::unique_ptr<Arena>* arena;
+    ~Release() {
+      std::lock_guard<std::mutex> lock(impl->mu);
+      impl->free_arenas.push_back(std::move(*arena));
+    }
+  } release{&impl, &arena};
+
+  {
+    TraceSpan convert_span("session.convert");
+    for (const FeedSpec& f : impl.feeds) {
+      auto it = canonical_data.find(f.tensor_id);
+      if (it == canonical_data.end()) {
+        return Status::FailedPrecondition("missing canonical data for tensor " + f.name);
+      }
+      if (static_cast<int64_t>(it->second.size()) != f.plan.canonical_size) {
+        return Status::FailedPrecondition("canonical data for tensor " + f.name +
+                                          " mis-sized");
+      }
+      PhysicalizeWithPlan(f.plan, it->second.data(), arena->store.Get(f.tensor_id).data());
+    }
+    for (const StoreAtSpec& s : impl.store_ats) {
+      auto it = canonical_data.find(s.src_id);
+      if (it == canonical_data.end()) {
+        return Status::FailedPrecondition("store_at source data missing");
+      }
+      if (it->second.size() < s.host_offsets.size()) {
+        return Status::FailedPrecondition("store_at source data mis-sized");
+      }
+      auto& host = arena->store.Get(s.host_id);
+      for (size_t i = 0; i < s.host_offsets.size(); ++i) {
+        host[s.host_offsets[i]] = it->second[i];
+      }
+    }
+  }
+
+  for (auto& program : arena->programs) {
     TraceSpan program_span("session.program");
-    ALT_RETURN_IF_ERROR(Execute(program, store));
+    ALT_RETURN_IF_ERROR(program.Run());
   }
-  int out_id = net.groups.back().OutputTensor(graph);
-  const auto& t = graph.tensor(out_id);
-  return Canonicalize(store.Get(out_id), t.shape, assignment.Get(out_id));
+
+  std::vector<float> out(impl.out_plan.canonical_size);
+  {
+    TraceSpan convert_span("session.convert");
+    CanonicalizeWithPlan(impl.out_plan, arena->store.Get(impl.out_id).data(), out.data());
+  }
+  runs.Add();
+  run_us.Observe(static_cast<double>(TraceRecorder::NowNs() - start_ns) * 1e-3);
+  return out;
+}
+
+StatusOr<std::vector<std::vector<float>>> InferenceSession::RunBatch(
+    const std::vector<TensorDataMap>& requests, int threads) const {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  std::vector<std::vector<float>> outputs(requests.size());
+  std::vector<Status> statuses(requests.size(), Status::Ok());
+  ThreadPool pool(threads);
+  ALT_RETURN_IF_ERROR(pool.ParallelFor(static_cast<int>(requests.size()), [&](int i) {
+    auto out = Run(requests[i]);
+    if (out.ok()) {
+      outputs[i] = std::move(*out);
+    } else {
+      statuses[i] = out.status();
+    }
+  }));
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return outputs;
+}
+
+int InferenceSession::output_tensor() const { return impl_->out_id; }
+
+const std::vector<int64_t>& InferenceSession::output_shape() const {
+  return impl_->graph.tensor(impl_->out_id).shape;
+}
+
+int InferenceSession::arena_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total_arenas;
+}
+
+StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
+                                               const graph::LayoutAssignment& assignment,
+                                               const loop::LoweredNetwork& net,
+                                               const TensorDataMap& canonical_data) {
+  auto session = InferenceSession::Create(graph, assignment, net);
+  if (!session.ok()) {
+    return session.status();
+  }
+  return session->Run(canonical_data);
 }
 
 StatusOr<double> ValidateAgainstReference(const graph::Graph& graph,
                                           const graph::LayoutAssignment& assignment,
-                                          uint64_t seed, bool enable_fusion) {
-  auto net = loop::LowerNetworkNaive(graph, assignment, enable_fusion);
+                                          const ValidateOptions& options) {
+  auto net = loop::LowerNetworkNaive(graph, assignment, options.enable_fusion);
   if (!net.ok()) {
     return net.status();
   }
-  Rng rng(seed);
+  Rng rng(options.seed);
   TensorDataMap data;
   FillGraphInputs(graph, rng, data);
   auto lowered_out = RunLoweredNetwork(graph, assignment, *net, data);

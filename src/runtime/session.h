@@ -1,10 +1,29 @@
-// End-to-end execution of a lowered network against canonical inputs, and
-// numeric validation against the reference executor. This is the harness the
-// integration tests and examples use to prove that layout + loop transforms
-// preserve semantics.
+// Serving-side execution of a lowered network.
+//
+// InferenceSession is the one-time-setup / many-runs split: construction
+// compiles every program into a PreparedProgram, pre-sizes a buffer arena,
+// and caches the canonical<->physical conversion plans for every graph
+// input, constant, store_at host, and the network output. Run() then only
+// converts inputs, executes the prepared plans, and converts the output —
+// no per-call allocation of intermediates, plan compilation, or layout
+// analysis.
+//
+// Threading model: Run() is safe to call concurrently. Each in-flight call
+// borrows a complete arena (BufferStore + prepared programs) from a
+// mutex-guarded pool; a new arena is built lazily when all existing ones are
+// busy, so the pool grows to the peak concurrency and is reused afterwards.
+// RunBatch() fans a vector of requests across a ThreadPool with exactly that
+// mechanism.
+//
+// The free functions RunLoweredNetwork / ValidateAgainstReference predate
+// the session and are DEPRECATED: they are thin wrappers that build a
+// throwaway session per call (bit-identical results, none of the reuse).
 
 #ifndef ALT_RUNTIME_SESSION_H_
 #define ALT_RUNTIME_SESSION_H_
+
+#include <memory>
+#include <vector>
 
 #include "src/graph/layout_assignment.h"
 #include "src/loop/lowering.h"
@@ -13,19 +32,67 @@
 
 namespace alt::runtime {
 
-// Runs `net` (lowered from `graph` under `assignment`) on the canonical
-// inputs in `canonical_data` (graph inputs + constants must be present).
-// Returns the final group output in CANONICAL layout.
+struct SessionOptions {
+  // Engine selection for every prepared program (affine by default).
+  ExecOptions exec;
+};
+
+class InferenceSession {
+ public:
+  // Builds a session for `net` (lowered from `graph` under `assignment`).
+  // All three are copied in, so the session is self-contained. Plan
+  // compilation happens here: a malformed network fails at Create, not at
+  // the first Run. Fails with InvalidArgument on an empty network.
+  static StatusOr<InferenceSession> Create(const graph::Graph& graph,
+                                           const graph::LayoutAssignment& assignment,
+                                           const loop::LoweredNetwork& net,
+                                           const SessionOptions& options = SessionOptions());
+
+  // Serves one request: canonical graph inputs + constants in, the final
+  // group output in CANONICAL layout out. Thread-safe; bit-identical to
+  // RunLoweredNetwork on the same data, call after call.
+  StatusOr<std::vector<float>> Run(const TensorDataMap& canonical_data) const;
+
+  // Runs every request concurrently on `threads` total threads (<= 0: one
+  // per hardware core) and returns the outputs in request order. The first
+  // failed request's status is returned instead, after all finish.
+  StatusOr<std::vector<std::vector<float>>> RunBatch(
+      const std::vector<TensorDataMap>& requests, int threads = 0) const;
+
+  // Tensor id / canonical shape of the network output.
+  int output_tensor() const;
+  const std::vector<int64_t>& output_shape() const;
+
+  // Arenas materialized so far (== peak concurrent Run calls; >= 1).
+  int arena_count() const;
+
+ private:
+  InferenceSession() = default;
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+// Seed/fusion knobs for ValidateAgainstReference, replacing its former bare
+// default arguments so call sites are self-describing.
+struct ValidateOptions {
+  uint64_t seed = 42;
+  bool enable_fusion = true;
+};
+
+// DEPRECATED: builds a throwaway InferenceSession per call. Prefer creating
+// one session and calling Run repeatedly.
 StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
                                                const graph::LayoutAssignment& assignment,
                                                const loop::LoweredNetwork& net,
                                                const TensorDataMap& canonical_data);
 
-// Convenience: lowers naive, runs both the lowered network and the reference,
-// and returns max |diff| on the final output.
+// DEPRECATED convenience kept for tests/examples: lowers naive, runs both
+// the lowered network (through a session) and the reference, and returns max
+// |diff| on the final output.
 StatusOr<double> ValidateAgainstReference(const graph::Graph& graph,
                                           const graph::LayoutAssignment& assignment,
-                                          uint64_t seed = 42, bool enable_fusion = true);
+                                          const ValidateOptions& options = ValidateOptions());
 
 }  // namespace alt::runtime
 

@@ -1,6 +1,7 @@
 #include "src/support/crc32.h"
 
 #include <array>
+#include <cstdio>
 
 namespace alt {
 
@@ -36,6 +37,33 @@ uint64_t Fnv1a64(std::string_view data) {
     hash *= 0x100000001b3ull;
   }
   return hash;
+}
+
+std::string FrameLine(const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x ", Crc32(payload));
+  return crc + payload;
+}
+
+bool UnframeLine(std::string_view line, std::string* payload) {
+  if (line.size() < 10 || line[8] != ' ') {
+    return false;
+  }
+  uint32_t crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    char c = line[i];
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else {
+      return false;
+    }
+    crc = (crc << 4) | digit;
+  }
+  *payload = std::string(line.substr(9));
+  return Crc32(*payload) == crc;
 }
 
 }  // namespace alt

@@ -13,6 +13,7 @@
 #define ALT_SUPPORT_CRC32_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace alt {
@@ -22,6 +23,15 @@ uint32_t Crc32(std::string_view data);
 
 // FNV-1a 64-bit hash of `data`.
 uint64_t Fnv1a64(std::string_view data);
+
+// Line framing shared by every CRC-checked text format (tuning journal,
+// compiled-network artifacts): "<crc32-hex-8> <payload>", checksum over
+// exactly <payload>.
+std::string FrameLine(const std::string& payload);
+
+// Splits a framed line and verifies its checksum. Returns false on short
+// lines, malformed hex, or a CRC mismatch; `payload` is valid only on true.
+bool UnframeLine(std::string_view line, std::string* payload);
 
 }  // namespace alt
 

@@ -54,7 +54,7 @@ Graph MiniResidualBlock() {
 
 TEST(Integration, ResidualBlockCanonical) {
   Graph g = MiniResidualBlock();
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, 5), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, {.seed = 5}), kTol);
 }
 
 TEST(Integration, ResidualBlockMixedLayouts) {
@@ -79,7 +79,7 @@ TEST(Integration, ResidualBlockMixedLayouts) {
   ASSERT_TRUE(blocked.ok());
   la.Set(c2, *blocked);
   graph::PropagateOutputLayout(g, la, c2);
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 6), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, {.seed = 6}), kTol);
 }
 
 TEST(Integration, DepthwiseBottleneckTuned) {
@@ -127,7 +127,7 @@ TEST(Integration, TransformerLayerCanonical) {
   // One miniature BERT-style layer (hidden 32): matmuls + bias + gelu +
   // residual + layernorm + softmax path.
   Graph g = graph::BuildBert(1, 64, 1, /*seq_len=*/8);
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, 8), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, LayoutAssignment{}, {.seed = 8}), kTol);
 }
 
 TEST(Integration, Conv3dBlockWithLayouts) {
@@ -158,7 +158,7 @@ TEST(Integration, Conv3dBlockWithLayouts) {
   la.Set(p, layouts->input);
   la.Set(w, layouts->weight);
   graph::PropagateOutputLayout(g, la, c);
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 9), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, {.seed = 9}), kTol);
 }
 
 TEST(Integration, Fig12SubgraphWithConversionOp) {
@@ -183,7 +183,7 @@ TEST(Integration, Fig12SubgraphWithConversionOp) {
   ASSERT_TRUE(blocked.ok());
   auto sat = graph::RequestInputLayout(g, la, g.ProducerOf(c2), 0, *blocked);
   ASSERT_EQ(sat, graph::InputSatisfaction::kConversionInserted);
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 10), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, {.seed = 10}), kTol);
 }
 
 // ---------------------------------------------------------------------------
@@ -216,7 +216,7 @@ TEST(Partitioning, FusionDisabledYieldsSingletonGroups) {
     EXPECT_TRUE(grp.fused_ops.empty());
   }
   // Both partitions execute to the same numbers.
-  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, 12, /*enable_fusion=*/false), kTol);
+  EXPECT_LT(*runtime::ValidateAgainstReference(g, la, {.seed = 12, .enable_fusion = false}), kTol);
 }
 
 TEST(Partitioning, MultiConsumerTensorIsNotFused) {

@@ -22,7 +22,7 @@ using graph::OpKind;
 constexpr double kTol = 2e-3;  // float accumulation over up to ~1k terms
 
 double Validate(const Graph& g, const LayoutAssignment& la, uint64_t seed = 7) {
-  auto diff = runtime::ValidateAgainstReference(g, la, seed);
+  auto diff = runtime::ValidateAgainstReference(g, la, {.seed = seed});
   EXPECT_TRUE(diff.ok()) << diff.status().ToString();
   return diff.ok() ? *diff : 1e9;
 }

@@ -52,12 +52,12 @@ TEST(MeasureEngine, TrajectoryIsIdenticalAcrossThreadCounts) {
   const auto& machine = sim::Machine::IntelCpu();
 
   core::AltOptions one = BaseOptions();
-  one.measure_threads = 1;
+  one.measure.threads = 1;
   auto r1 = core::Compile(g, machine, one);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
 
   core::AltOptions four = BaseOptions();
-  four.measure_threads = 4;
+  four.measure.threads = 4;
   auto r4 = core::Compile(g, machine, four);
   ASSERT_TRUE(r4.ok()) << r4.status().ToString();
 
@@ -82,7 +82,7 @@ TEST(MeasureEngine, CacheOnMatchesCacheOffResult) {
   const auto& machine = sim::Machine::IntelCpu();
 
   core::AltOptions cached = BaseOptions();
-  cached.measure_cache = true;
+  cached.measure.cache = true;
   auto rc = core::Compile(g, machine, cached);
   ASSERT_TRUE(rc.ok());
   EXPECT_GT(rc->measure_stats.cache_hits, 0);
@@ -91,7 +91,7 @@ TEST(MeasureEngine, CacheOnMatchesCacheOffResult) {
                 rc->measure_stats.failed + rc->measure_stats.replayed);
 
   core::AltOptions uncached = BaseOptions();
-  uncached.measure_cache = false;
+  uncached.measure.cache = false;
   auto ru = core::Compile(g, machine, uncached);
   ASSERT_TRUE(ru.ok());
   EXPECT_EQ(ru->measure_stats.cache_hits, 0);
@@ -383,11 +383,11 @@ TEST(MeasureEngine, StatsInvariantHoldsAcrossConfigurations) {
     for (bool cache : {false, true}) {
       for (bool faults : {false, true}) {
         core::AltOptions options = BaseOptions();
-        options.measure_threads = threads;
-        options.measure_cache = cache;
+        options.measure.threads = threads;
+        options.measure.cache = cache;
         if (faults) {
-          options.fault_injection.always_fail_first = 1;
-          options.measure_retry.max_attempts = 3;
+          options.fault.injection.always_fail_first = 1;
+          options.fault.retry.max_attempts = 3;
         }
         auto result = core::Compile(g, machine, options);
         ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -408,7 +408,7 @@ TEST(MeasureEngine, WallTimeIsPerBatchAndCpuTimeIsPerAttempt) {
   // Single-threaded: attempt time is a subset of the batch wall interval on
   // the same clock, so cpu_ms can never exceed wall_ms.
   core::AltOptions one = BaseOptions();
-  one.measure_threads = 1;
+  one.measure.threads = 1;
   auto r1 = core::Compile(g, machine, one);
   ASSERT_TRUE(r1.ok());
   EXPECT_GT(r1->measure_stats.wall_ms, 0.0);
@@ -421,7 +421,7 @@ TEST(MeasureEngine, WallTimeIsPerBatchAndCpuTimeIsPerAttempt) {
   // wall can exceed cpu only by the serial bookkeeping — never by a
   // per-thread multiple, which is what double-counted accounting produced.
   core::AltOptions four = BaseOptions();
-  four.measure_threads = 4;
+  four.measure.threads = 4;
   auto r4 = core::Compile(g, machine, four);
   ASSERT_TRUE(r4.ok());
   EXPECT_GT(r4->measure_stats.wall_ms, 0.0);
@@ -433,8 +433,8 @@ TEST(MeasureEngine, MetricsSnapshotMirrorsMeasureStats) {
   graph::Graph g = SmallConvGraph();
   const auto& machine = sim::Machine::IntelCpu();
   core::AltOptions options = BaseOptions();
-  options.fault_injection.always_fail_first = 1;  // exercise the retry counters too
-  options.measure_retry.max_attempts = 3;
+  options.fault.injection.always_fail_first = 1;  // exercise the retry counters too
+  options.fault.retry.max_attempts = 3;
   auto result = core::Compile(g, machine, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 

@@ -196,7 +196,7 @@ TEST(StoreAt, GmmBiasInWeightMatchesReference) {
   host.Append(layout::Primitive::StoreAt(bias, 0));  // B becomes (K+1) x N
   la.Set(b, host);
 
-  auto diff = ValidateAgainstReference(g, la, 3);
+  auto diff = ValidateAgainstReference(g, la, {.seed = 3});
   ASSERT_TRUE(diff.ok()) << diff.status().ToString();
   EXPECT_LT(*diff, 1e-4);
 }

@@ -1,0 +1,201 @@
+// InferenceSession: equivalence with the deprecated free functions,
+// repeated-run determinism over reused arenas, and concurrent serving
+// (exercised under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/graph/networks.h"
+#include "src/loop/lowering.h"
+#include "src/runtime/session.h"
+
+namespace alt::runtime {
+namespace {
+
+using graph::Graph;
+using graph::LayoutAssignment;
+
+Graph SmallWorkload() {
+  Graph g("serving_target");
+  int x = g.AddInput("x", {1, 4, 10, 10});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {8, 4, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  int b = g.AddConstant("b", {8});
+  g.AddRelu(g.AddBiasAdd(c, b, 1, "bias"), "relu");
+  return g;
+}
+
+// A layouted variant so feeds and output go through real conversion plans.
+void AssignSplitLayouts(const Graph& g, LayoutAssignment& la) {
+  for (const auto& t : g.tensors()) {
+    if (t.shape.size() == 4 && t.shape[1] % 4 == 0) {
+      layout::LayoutSeq seq;
+      seq.Append(layout::Primitive::Split(1, {t.shape[1] / 4, 4}));
+      la.Set(t.id, seq);
+    }
+  }
+}
+
+TensorDataMap MakeRequest(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  TensorDataMap data;
+  FillGraphInputs(g, rng, data);
+  return data;
+}
+
+TEST(InferenceSession, MatchesDeprecatedFreeFunction) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  TensorDataMap data = MakeRequest(g, 11);
+
+  auto via_free = RunLoweredNetwork(g, la, *net, data);
+  ASSERT_TRUE(via_free.ok()) << via_free.status().ToString();
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto via_session = session->Run(data);
+  ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
+  ASSERT_EQ(via_session->size(), via_free->size());
+  EXPECT_EQ(0, std::memcmp(via_session->data(), via_free->data(),
+                           via_free->size() * sizeof(float)));
+  EXPECT_EQ(session->output_tensor(), net->groups.back().OutputTensor(g));
+  EXPECT_EQ(session->output_shape(), g.tensor(session->output_tensor()).shape);
+}
+
+TEST(InferenceSession, RepeatedRunsOnReusedArenaAreBitIdentical) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+
+  TensorDataMap a = MakeRequest(g, 21);
+  TensorDataMap b = MakeRequest(g, 22);
+  auto first_a = session->Run(a);
+  ASSERT_TRUE(first_a.ok());
+  // Interleave a different request so stale arena contents would show up.
+  ASSERT_TRUE(session->Run(b).ok());
+  auto again_a = session->Run(a);
+  ASSERT_TRUE(again_a.ok());
+  EXPECT_EQ(0, std::memcmp(first_a->data(), again_a->data(),
+                           first_a->size() * sizeof(float)));
+  // Sequential calls reuse the single arena instead of growing the pool.
+  EXPECT_EQ(session->arena_count(), 1);
+}
+
+TEST(InferenceSession, ReportsMissingAndMisSizedInputs) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+
+  TensorDataMap data = MakeRequest(g, 31);
+  TensorDataMap missing = data;
+  missing.erase(missing.begin()->first);
+  EXPECT_FALSE(session->Run(missing).ok());
+  TensorDataMap missized = data;
+  missized.begin()->second.pop_back();
+  EXPECT_FALSE(session->Run(missized).ok());
+  // The session still serves correct requests afterwards (arena returned).
+  EXPECT_TRUE(session->Run(data).ok());
+  EXPECT_EQ(session->arena_count(), 1);
+}
+
+TEST(InferenceSession, CreateRejectsEmptyNetwork) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  EXPECT_FALSE(InferenceSession::Create(g, la, loop::LoweredNetwork{}).ok());
+}
+
+TEST(InferenceSession, ConcurrentRunsAreDeterministic) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 8;
+  std::vector<TensorDataMap> requests;
+  std::vector<std::vector<float>> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    requests.push_back(MakeRequest(g, 100 + t));
+    auto out = session->Run(requests.back());
+    ASSERT_TRUE(out.ok());
+    expected.push_back(std::move(*out));
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        auto out = session->Run(requests[t]);
+        if (!out.ok() || *out != expected[t]) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+  EXPECT_GE(session->arena_count(), 1);
+  EXPECT_LE(session->arena_count(), kThreads + 1);
+}
+
+TEST(InferenceSession, RunBatchMatchesSequentialRuns) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+
+  std::vector<TensorDataMap> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back(MakeRequest(g, 200 + i));
+  }
+  auto batch = session->RunBatch(requests, 4);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto one = session->Run(requests[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ((*batch)[i], *one) << "request " << i;
+  }
+}
+
+TEST(ValidateAgainstReference, AcceptsOptionsStruct) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  auto diff = ValidateAgainstReference(g, la, {.seed = 5, .enable_fusion = false});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_LT(*diff, 2e-3);
+  auto diff_default = ValidateAgainstReference(g, la);
+  ASSERT_TRUE(diff_default.ok());
+  EXPECT_LT(*diff_default, 2e-3);
+}
+
+}  // namespace
+}  // namespace alt::runtime

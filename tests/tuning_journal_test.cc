@@ -283,8 +283,8 @@ TEST(TuningJournal, FaultInjectedTuningCompletesAndIsDeterministic) {
   graph::Graph g = SmallConvGraph();
   const auto& machine = sim::Machine::IntelCpu();
   core::AltOptions options = BaseOptions();
-  options.fault_injection.failure_rate = 0.1;
-  options.fault_injection.seed = 5;
+  options.fault.injection.failure_rate = 0.1;
+  options.fault.injection.seed = 5;
 
   auto r1 = core::Compile(g, machine, options);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
@@ -304,8 +304,8 @@ TEST(TuningJournal, FaultInjectedKillAndResume) {
   graph::Graph g = SmallConvGraph();
   const auto& machine = sim::Machine::IntelCpu();
   core::AltOptions options = BaseOptions();
-  options.fault_injection.failure_rate = 0.1;
-  options.fault_injection.seed = 5;
+  options.fault.injection.failure_rate = 0.1;
+  options.fault.injection.seed = 5;
 
   std::string full_path = TempPath("journal_fault_full.altj");
   auto full_run = core::CompileWithJournal(g, machine, options, full_path);
