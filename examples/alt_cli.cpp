@@ -17,6 +17,11 @@
 //     When the file exists: skip tuning, load the artifact, and serve one
 //     request through runtime::InferenceSession (printing its provenance).
 //     Otherwise: tune as usual, then save the artifact to that path.
+//   --serve <n> (with an existing --artifact)
+//     Instead of one direct request, run n randomly-filled requests through
+//     the serving::Server front-end — dynamic batching under the default
+//     size/timeout policy — and print the operator metrics (per-model
+//     p50/p95/p99, batch sizes, queue waits) when the traffic drains.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +32,7 @@
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
 #include "src/runtime/session.h"
+#include "src/serving/server.h"
 #include "src/support/fileio.h"
 #include "src/support/string_util.h"
 
@@ -89,15 +95,61 @@ int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded) {
   return 0;
 }
 
+// Serves `count` randomly-filled requests through the dynamic-batching
+// front-end and prints the operator metrics once the traffic drains.
+int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count) {
+  using namespace alt;
+  const autotune::CompiledNetwork& net = loaded.network;
+  serving::Server server;
+  Status added = server.AddModel(net.graph.name(), loaded);
+  if (!added.ok()) {
+    std::fprintf(stderr, "model registration failed: %s\n", added.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %d requests through the batching front-end...\n", count);
+  std::vector<std::future<serving::Response>> futures;
+  futures.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    Rng rng(loaded.info.seed + i);
+    runtime::TensorDataMap data;
+    runtime::FillGraphInputs(net.graph, rng, data);
+    futures.push_back(server.Submit(net.graph.name(), std::move(data)));
+  }
+  int failed = 0;
+  for (auto& f : futures) {
+    if (!f.get().ok()) {
+      ++failed;
+    }
+  }
+  MetricsSnapshot metrics = server.Metrics();
+  const HistogramSnapshot* latency =
+      metrics.histogram("serving." + net.graph.name() + ".request_us");
+  const HistogramSnapshot* batch_size = metrics.histogram("serving.batch_size");
+  std::printf("served %d requests (%d failed) in %lld batches\n", count, failed,
+              static_cast<long long>(metrics.counter("serving.batches")));
+  if (latency != nullptr) {
+    std::printf("request latency us : p50 %.0f  p95 %.0f  p99 %.0f\n", latency->p50,
+                latency->p95, latency->p99);
+  }
+  if (batch_size != nullptr && batch_size->count > 0) {
+    std::printf("batch size         : mean %.1f  max %.0f\n", batch_size->mean(),
+                batch_size->max);
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace alt;
   std::string artifact_path = std::getenv("ALT_ARTIFACT") ? std::getenv("ALT_ARTIFACT") : "";
+  int serve_requests = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--artifact" && i + 1 < argc) {
       artifact_path = argv[++i];
+    } else if (std::string(argv[i]) == "--serve" && i + 1 < argc) {
+      serve_requests = std::atoi(argv[++i]);
     } else {
       pos.push_back(argv[i]);
     }
@@ -113,6 +165,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "artifact load failed: %s\n",
                    loaded.status().ToString().c_str());
       return 1;
+    }
+    if (serve_requests > 0) {
+      return ServeTraffic(*loaded, serve_requests);
     }
     return ServeLoadedArtifact(*loaded);
   }

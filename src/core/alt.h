@@ -12,6 +12,10 @@
 //   SERVE              runtime::InferenceSession (runtime/session.h —
 //                      compile-once / run-many execution of a CompiledNetwork
 //                      or loaded artifact)
+//   SERVE AT SCALE     serving::Server (serving/server.h — request queue with
+//                      dynamic batching under a size/timeout policy, worker
+//                      dispatch onto pooled sessions, per-model latency
+//                      metrics, atomic hot-swap to a retuned artifact)
 //
 //   graph::Graph g = graph::BuildResNet18(1);
 //   core::AltOptions options;
@@ -98,5 +102,8 @@ const std::vector<double>& SharedPretrainedAgent(const sim::Machine& machine);
 // after the declarations above (the include guards make the cycle benign).
 #include "src/core/artifact.h"        // SaveArtifact / LoadArtifact
 #include "src/core/tuning_journal.h"  // CompileWithJournal / ResumeFromJournal
+// serving::Server lives above the core facade: include "src/serving/server.h"
+// (and link alt_serving) for the batching front-end — server.h includes this
+// header, so aggregating it here would cycle.
 
 #endif  // ALT_CORE_ALT_H_

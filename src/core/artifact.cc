@@ -258,6 +258,21 @@ uint64_t GraphSignature(const Graph& graph) {
   return SignatureOfLines(GraphSectionLines(graph));
 }
 
+uint64_t InterfaceSignature(const Graph& graph) {
+  // Same line discipline as the graph section, restricted to the tensors a
+  // client feeds: retuning inserts conversion ops and interior tensors but
+  // never changes the inputs/constants a request must supply.
+  std::vector<std::string> lines;
+  for (const auto& t : graph.tensors()) {
+    if (!graph.IsGraphInput(t.id) && !graph.IsConstant(t.id)) {
+      continue;
+    }
+    lines.push_back(std::string("feed ") + (graph.IsConstant(t.id) ? "const" : "var") +
+                    " shape=" + EncodeIntCsv(t.shape) + " name=" + t.name);
+  }
+  return SignatureOfLines(lines);
+}
+
 Status SaveArtifact(const autotune::CompiledNetwork& network, const sim::Machine& machine,
                     const AltOptions& options, const std::string& path) {
   if (network.schedules.size() != network.groups.size()) {

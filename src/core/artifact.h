@@ -75,6 +75,14 @@ struct LoadedArtifact {
 // serialize identically — same tensors, shapes, ops, attributes, and names.
 uint64_t GraphSignature(const graph::Graph& graph);
 
+// Stable signature of a graph's SERVING INTERFACE: the (name, canonical
+// shape) of every graph input and constant, in tensor order. Unlike
+// GraphSignature it is invariant under retuning — inserted conversion ops,
+// layout changes, and schedule changes don't alter it — so the serving
+// front-end uses it to decide whether a freshly tuned artifact can hot-swap
+// in for a live model (same clients, same request format).
+uint64_t InterfaceSignature(const graph::Graph& graph);
+
 // Writes `network` (+ provenance from `options`) to `path`, atomically
 // replacing any existing file contents.
 Status SaveArtifact(const autotune::CompiledNetwork& network, const sim::Machine& machine,

@@ -1,12 +1,13 @@
 #include "src/runtime/session.h"
 
+#include <algorithm>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
-#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
 namespace alt::runtime {
@@ -49,10 +50,19 @@ struct InferenceSession::Impl {
   int out_id = -1;
   ConversionPlan out_plan;
 
-  // Arena pool: idle arenas, guarded by `mu`. Grows to peak concurrency.
+  // Arena pool: idle arenas, guarded by `mu`. Grows to peak concurrency but
+  // never past `max_arenas`; borrowers past the cap block on `arena_cv`.
   mutable std::mutex mu;
+  mutable std::condition_variable arena_cv;
   mutable std::vector<std::unique_ptr<Arena>> free_arenas;
   mutable int total_arenas = 0;
+  int max_arenas = 1;
+
+  // Reusable pool backing the RunBatch convenience overload, built lazily at
+  // the first call (RunBatchDetailed callers bring their own). The lock is
+  // held across the whole batch because ParallelFor is not reentrant.
+  mutable std::mutex batch_mu;
+  mutable std::unique_ptr<ThreadPool> batch_pool;
 
   StatusOr<std::unique_ptr<Arena>> NewArena() const {
     auto arena = std::make_unique<Arena>();
@@ -149,6 +159,12 @@ StatusOr<InferenceSession> InferenceSession::Create(const graph::Graph& graph,
   }
   impl->out_plan = std::move(*out_plan);
 
+  // Resolve the arena cap: an explicit positive cap wins, otherwise twice the
+  // hardware threads (hardware_concurrency may report 0; clamp so the cap —
+  // and with it peak concurrency — is never below the eager first arena).
+  const int hardware = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  impl->max_arenas = options.max_arenas > 0 ? options.max_arenas : std::max(2, 2 * hardware);
+
   // Build the first arena eagerly so plan-compilation errors surface here.
   auto arena = impl->NewArena();
   if (!arena.ok()) {
@@ -166,34 +182,58 @@ StatusOr<std::vector<float>> InferenceSession::Run(const TensorDataMap& canonica
   TraceSpan session_span("session.run");
   static Counter& runs = MetricsRegistry::Global().counter("session.runs");
   static Histogram& run_us = MetricsRegistry::Global().histogram("session.run_us");
+  static Counter& arena_waits = MetricsRegistry::Global().counter("session.arena_waits");
+  static Histogram& arena_wait_us =
+      MetricsRegistry::Global().histogram("session.arena_wait_us");
   const int64_t start_ns = TraceRecorder::NowNs();
   Impl& impl = *impl_;
 
-  // Borrow an idle arena; build a fresh one (outside the lock) when every
-  // existing arena is serving another caller.
+  // Borrow an idle arena; build a fresh one (outside the lock) while below
+  // the cap, otherwise block until a returning Run frees one. The blocked
+  // path is the bounded-memory trade: a burst past max_arenas queues here
+  // instead of materializing an arena per caller.
   std::unique_ptr<Arena> arena;
+  bool build_fresh = false;
   {
-    std::lock_guard<std::mutex> lock(impl.mu);
+    std::unique_lock<std::mutex> lock(impl.mu);
+    while (impl.free_arenas.empty() && impl.total_arenas >= impl.max_arenas) {
+      arena_waits.Add();
+      const int64_t wait_start_ns = TraceRecorder::NowNs();
+      impl.arena_cv.wait(lock, [&impl] {
+        return !impl.free_arenas.empty() || impl.total_arenas < impl.max_arenas;
+      });
+      arena_wait_us.Observe(static_cast<double>(TraceRecorder::NowNs() - wait_start_ns) *
+                            1e-3);
+    }
     if (!impl.free_arenas.empty()) {
       arena = std::move(impl.free_arenas.back());
       impl.free_arenas.pop_back();
+    } else {
+      // Reserve a slot under the lock so concurrent borrowers cannot
+      // collectively overshoot the cap while this one builds.
+      ++impl.total_arenas;
+      build_fresh = true;
     }
   }
-  if (arena == nullptr) {
+  if (build_fresh) {
     auto fresh = impl.NewArena();
     if (!fresh.ok()) {
+      std::lock_guard<std::mutex> lock(impl.mu);
+      --impl.total_arenas;
+      impl.arena_cv.notify_one();
       return fresh.status();
     }
     arena = std::move(*fresh);
-    std::lock_guard<std::mutex> lock(impl.mu);
-    ++impl.total_arenas;
   }
   struct Release {
     Impl* impl;
     std::unique_ptr<Arena>* arena;
     ~Release() {
-      std::lock_guard<std::mutex> lock(impl->mu);
-      impl->free_arenas.push_back(std::move(*arena));
+      {
+        std::lock_guard<std::mutex> lock(impl->mu);
+        impl->free_arenas.push_back(std::move(*arena));
+      }
+      impl->arena_cv.notify_one();
     }
   } release{&impl, &arena};
 
@@ -240,26 +280,52 @@ StatusOr<std::vector<float>> InferenceSession::Run(const TensorDataMap& canonica
   return out;
 }
 
+int ResolveBatchThreads(int requested, unsigned hardware) {
+  if (requested > 0) {
+    return requested;
+  }
+  // hardware_concurrency() is allowed to return 0 ("not computable"); a
+  // ThreadPool(0) would be degenerate, so the floor is one thread.
+  return std::max(1, static_cast<int>(hardware));
+}
+
+std::vector<StatusOr<std::vector<float>>> InferenceSession::RunBatchDetailed(
+    const std::vector<TensorDataMap>& requests, ThreadPool& pool) const {
+  std::vector<StatusOr<std::vector<float>>> results(
+      requests.size(), Status::Internal("request not executed"));
+  Status fanout = pool.ParallelFor(static_cast<int>(requests.size()),
+                                   [&](int i) { results[i] = Run(requests[i]); });
+  if (!fanout.ok()) {
+    // ParallelFor only fails on an escaping exception; every index still ran,
+    // so surface the failure on slots that kept the placeholder status.
+    for (auto& r : results) {
+      if (!r.ok() && r.status().message() == "request not executed") {
+        r = fanout;
+      }
+    }
+  }
+  return results;
+}
+
 StatusOr<std::vector<std::vector<float>>> InferenceSession::RunBatch(
     const std::vector<TensorDataMap>& requests, int threads) const {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lock(impl.batch_mu);
+  const int resolved = ResolveBatchThreads(threads, std::thread::hardware_concurrency());
+  // The owned pool is created once and reused across batches (the bug this
+  // replaces built and tore down a ThreadPool per call); it is only rebuilt
+  // when a caller asks for a different parallelism.
+  if (impl.batch_pool == nullptr || impl.batch_pool->size() != resolved) {
+    impl.batch_pool = std::make_unique<ThreadPool>(resolved);
   }
-  std::vector<std::vector<float>> outputs(requests.size());
-  std::vector<Status> statuses(requests.size(), Status::Ok());
-  ThreadPool pool(threads);
-  ALT_RETURN_IF_ERROR(pool.ParallelFor(static_cast<int>(requests.size()), [&](int i) {
-    auto out = Run(requests[i]);
-    if (out.ok()) {
-      outputs[i] = std::move(*out);
-    } else {
-      statuses[i] = out.status();
+  auto results = RunBatchDetailed(requests, *impl.batch_pool);
+  std::vector<std::vector<float>> outputs;
+  outputs.reserve(results.size());
+  for (auto& r : results) {
+    if (!r.ok()) {
+      return r.status();
     }
-  }));
-  for (const Status& s : statuses) {
-    if (!s.ok()) {
-      return s;
-    }
+    outputs.push_back(std::move(*r));
   }
   return outputs;
 }
@@ -274,6 +340,8 @@ int InferenceSession::arena_count() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->total_arenas;
 }
+
+int InferenceSession::max_arenas() const { return impl_->max_arenas; }
 
 StatusOr<std::vector<float>> RunLoweredNetwork(const graph::Graph& graph,
                                                const graph::LayoutAssignment& assignment,

@@ -11,9 +11,12 @@
 // Threading model: Run() is safe to call concurrently. Each in-flight call
 // borrows a complete arena (BufferStore + prepared programs) from a
 // mutex-guarded pool; a new arena is built lazily when all existing ones are
-// busy, so the pool grows to the peak concurrency and is reused afterwards.
-// RunBatch() fans a vector of requests across a ThreadPool with exactly that
-// mechanism.
+// busy, so the pool grows with concurrency and is reused afterwards. The pool
+// is BOUNDED by SessionOptions::max_arenas — once every arena is in flight a
+// borrower blocks until one is returned (counted in session.arena_waits /
+// session.arena_wait_us), so a request burst costs queueing, not unbounded
+// memory. RunBatch() fans a vector of requests across a ThreadPool with
+// exactly that mechanism.
 //
 // The free functions RunLoweredNetwork / ValidateAgainstReference predate
 // the session and are DEPRECATED: they are thin wrappers that build a
@@ -29,12 +32,19 @@
 #include "src/loop/lowering.h"
 #include "src/runtime/interpreter.h"
 #include "src/runtime/reference.h"
+#include "src/support/thread_pool.h"
 
 namespace alt::runtime {
 
 struct SessionOptions {
   // Engine selection for every prepared program (affine by default).
   ExecOptions exec;
+  // Upper bound on arenas the session may materialize (i.e. on concurrent
+  // in-flight Run calls before borrowers block). <= 0 selects the default:
+  // 2x hardware threads (at least 2) — enough that a worker-per-core server
+  // never waits, while a burst of N >> cores callers queues instead of
+  // allocating N full buffer arenas.
+  int max_arenas = 0;
 };
 
 class InferenceSession {
@@ -53,9 +63,23 @@ class InferenceSession {
   // RunLoweredNetwork on the same data, call after call.
   StatusOr<std::vector<float>> Run(const TensorDataMap& canonical_data) const;
 
-  // Runs every request concurrently on `threads` total threads (<= 0: one
-  // per hardware core) and returns the outputs in request order. The first
-  // failed request's status is returned instead, after all finish.
+  // Runs every request concurrently on `pool` (caller-owned and reusable
+  // across batches, so the per-batch cost is fan-out, not thread spawn) and
+  // returns per-request results in request order: element i is request i's
+  // output or its own failure Status. One malformed request never discards
+  // the other requests' outputs — the caller rejects exactly the bad one.
+  // Concurrent calls are fine as long as each caller passes its own pool
+  // (ThreadPool::ParallelFor is not reentrant on one pool).
+  std::vector<StatusOr<std::vector<float>>> RunBatchDetailed(
+      const std::vector<TensorDataMap>& requests, ThreadPool& pool) const;
+
+  // Convenience wrapper over RunBatchDetailed: runs on a session-owned
+  // reusable pool (built lazily at the first call's `threads`; <= 0 means one
+  // per hardware core, clamped to >= 1 — see ResolveBatchThreads) and
+  // collapses per-request results to all-or-nothing: outputs in request order
+  // when every request succeeded, otherwise the first failed request's
+  // status. Callers that must keep the good outputs of a mixed batch use
+  // RunBatchDetailed. Concurrent RunBatch calls serialize on the owned pool.
   StatusOr<std::vector<std::vector<float>>> RunBatch(
       const std::vector<TensorDataMap>& requests, int threads = 0) const;
 
@@ -66,12 +90,21 @@ class InferenceSession {
   // Arenas materialized so far (== peak concurrent Run calls; >= 1).
   int arena_count() const;
 
+  // Arena cap this session resolved from SessionOptions::max_arenas.
+  int max_arenas() const;
+
  private:
   InferenceSession() = default;
 
   struct Impl;
   std::shared_ptr<Impl> impl_;
 };
+
+// RunBatch's thread-count resolution, exposed for regression testing:
+// `requested` when positive, else `hardware` — which is the value of
+// std::thread::hardware_concurrency() and may legitimately be 0 ("not
+// computable") — clamped to >= 1 so a ThreadPool(0) is never constructed.
+int ResolveBatchThreads(int requested, unsigned hardware);
 
 // Seed/fusion knobs for ValidateAgainstReference, replacing its former bare
 // default arguments so call sites are self-describing.

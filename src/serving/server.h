@@ -1,0 +1,131 @@
+// Production serving front-end: dynamic batching over InferenceSessions.
+//
+// InferenceSession (runtime/session.h) answers "run this batch"; a real
+// service receives a STREAM of single requests. serving::Server closes that
+// gap:
+//
+//   * Request queue + dynamic batching. Submit() enqueues one request per
+//     call; dispatcher workers form batches under a size/timeout policy
+//     (BatchPolicy): a batch leaves the queue as soon as max_batch_size
+//     requests are waiting OR the oldest request has waited max_delay_us —
+//     so a lone request pays at most the timeout, and a burst amortizes
+//     dispatch across a full batch.
+//   * Session pool dispatch. Each worker owns a reusable ThreadPool and runs
+//     its batches via InferenceSession::RunBatchDetailed, so requests inside
+//     a batch execute concurrently on the session's bounded arena pool, and
+//     one malformed request fails alone — the rest of its batch still
+//     completes.
+//   * Operator metrics. Every request/batch feeds the process-global
+//     MetricsRegistry: per-model latency percentiles
+//     (serving.<model>.request_us), queue depth (serving.queue_depth gauge),
+//     batch-size and queue-wait histograms, swap/reject counters.
+//     Metrics() returns the delta since the server started — the dashboard
+//     surface.
+//   * Atomic hot-swap. SwapModel() builds a session for the retuned network,
+//     validates that its serving interface (core::InterfaceSignature — input
+//     and constant names/shapes — plus the output shape) matches the live
+//     model, and flips a shared_ptr under the queue lock. In-flight batches
+//     hold their own reference and finish on the old session; queued and
+//     future requests run on the new one. Zero downtime, no mixed batches.
+//
+// Shutdown() (also run by the destructor) stops admission — further Submits
+// fail with Unavailable — and DRAINS: workers keep forming (partial) batches
+// until every queued request has been answered, then exit. No promise is
+// ever dropped.
+
+#ifndef ALT_SERVING_SERVER_H_
+#define ALT_SERVING_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/artifact.h"
+#include "src/runtime/session.h"
+#include "src/support/metrics.h"
+
+namespace alt::serving {
+
+// When a queued batch is released to a worker.
+struct BatchPolicy {
+  // Dispatch as soon as this many requests are queued for one model...
+  int max_batch_size = 8;
+  // ...or as soon as the oldest queued request has waited this long. This is
+  // the latency the batcher may ADD to a request; it bounds the tail-latency
+  // cost of waiting for peers.
+  int64_t max_delay_us = 2000;
+};
+
+struct ServerOptions {
+  BatchPolicy policy;
+  // Dispatcher workers: concurrent batches in flight.
+  int workers = 1;
+  // ThreadPool size per worker for intra-batch fan-out (<= 0: hardware
+  // threads divided across workers, at least 1).
+  int intra_batch_threads = 0;
+  // Per-model queue bound; Submit past it rejects with Unavailable instead
+  // of queueing unboundedly (serving.rejected counts these).
+  int queue_capacity = 4096;
+  // Session construction knobs (execution engine, arena cap) for AddModel /
+  // SwapModel.
+  runtime::SessionOptions session;
+};
+
+// The batcher's answer to one request.
+using Response = StatusOr<std::vector<float>>;
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = ServerOptions());
+  ~Server();  // Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers a model under `name`. Fails with AlreadyExists-style
+  // InvalidArgument on a duplicate name; session-construction failures pass
+  // through. The artifact overload serves a core::LoadArtifact result.
+  Status AddModel(const std::string& name, const graph::Graph& graph,
+                  const graph::LayoutAssignment& assignment,
+                  const loop::LoweredNetwork& net);
+  Status AddModel(const std::string& name, const core::LoadedArtifact& artifact);
+
+  // Atomically replaces `name`'s session with one built from the retuned
+  // network. Validates the serving interface first (InterfaceSignature +
+  // output shape); on mismatch the live model is untouched and
+  // InvalidArgument is returned. In-flight batches finish on the old
+  // session.
+  Status SwapModel(const std::string& name, const graph::Graph& graph,
+                   const graph::LayoutAssignment& assignment,
+                   const loop::LoweredNetwork& net);
+  Status SwapModel(const std::string& name, const core::LoadedArtifact& artifact);
+
+  // Enqueues one request; the future resolves when its batch ran (or
+  // immediately with NotFound / Unavailable when the model is unknown, the
+  // queue is full, or the server is shutting down). Never blocks on
+  // execution.
+  std::future<Response> Submit(const std::string& model, runtime::TensorDataMap request);
+
+  // Submit + wait: the blocking convenience used by tests and the CLI.
+  Response Infer(const std::string& model, runtime::TensorDataMap request);
+
+  // Stops admission and drains every queued request, then joins the
+  // workers. Idempotent.
+  void Shutdown();
+
+  // Serving metrics accumulated since this server was constructed (delta of
+  // the process-global registry — exact when one server runs per process).
+  MetricsSnapshot Metrics() const;
+
+  // Requests currently queued across all models.
+  int64_t queue_depth() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace alt::serving
+
+#endif  // ALT_SERVING_SERVER_H_

@@ -95,6 +95,15 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -110,6 +119,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -135,6 +148,9 @@ void MetricsRegistry::ResetForTest() {
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
   for (auto& [name, histogram] : histograms_) {
     histogram->Reset();
   }
@@ -142,6 +158,15 @@ void MetricsRegistry::ResetForTest() {
 
 int64_t MetricsSnapshot::counter(const std::string& name) const {
   for (const auto& [n, v] : counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
     if (n == name) {
       return v;
     }
@@ -164,6 +189,9 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& start) const 
   for (const auto& [name, value] : counters) {
     delta.counters.emplace_back(name, value - start.counter(name));
   }
+  // Gauges are levels, not totals: the end-snapshot reading IS the delta-era
+  // reading, so they pass through unsubtracted.
+  delta.gauges = gauges;
   delta.histograms.reserve(histograms.size());
   for (const auto& h : histograms) {
     HistogramSnapshot d = h;
@@ -187,6 +215,12 @@ std::string MetricsSnapshot::ToJson() const {
   oss << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
+    oss << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  oss << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
     oss << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
     first = false;
   }

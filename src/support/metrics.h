@@ -4,6 +4,9 @@
 //
 //   * Counter — a lock-free (relaxed atomic) 64-bit counter. Full 64-bit
 //     range: values past INT32_MAX neither truncate nor saturate.
+//   * Gauge — a settable signed level (e.g. serving queue depth): Set() and
+//     Add() with negative deltas allowed. A gauge is a point-in-time reading,
+//     so DeltaSince passes the end-snapshot value through unchanged.
 //   * Histogram — fixed exponential buckets (4 per octave, so bucket bounds
 //     grow by 2^(1/4) ~ 1.19x) over non-negative doubles, with approximate
 //     p50/p95/p99 (reported as the upper bound of the bucket holding the
@@ -39,6 +42,17 @@ namespace alt {
 
 class Counter {
  public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
   void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -93,10 +107,12 @@ struct HistogramSnapshot {
 
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, int64_t>> gauges;    // sorted by name
   std::vector<HistogramSnapshot> histograms;              // sorted by name
 
   // 0 / nullptr when the instrument does not exist (yet).
   int64_t counter(const std::string& name) const;
+  int64_t gauge(const std::string& name) const;
   const HistogramSnapshot* histogram(const std::string& name) const;
 
   // This snapshot minus `start`: counters subtract, histogram buckets
@@ -114,6 +130,7 @@ class MetricsRegistry {
 
   // Find-or-create; the returned reference is valid forever.
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
@@ -127,6 +144,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

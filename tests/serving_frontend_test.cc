@@ -1,0 +1,374 @@
+// serving::Server: dynamic batching (size and timeout triggers), shutdown
+// drain, per-request failure isolation, hot-swap under live traffic (run
+// under TSan in CI), and the operator metrics surface.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/core/artifact.h"
+#include "src/graph/networks.h"
+#include "src/loop/lowering.h"
+#include "src/serving/server.h"
+#include "src/support/metrics.h"
+
+namespace alt::serving {
+namespace {
+
+using graph::Graph;
+using graph::LayoutAssignment;
+
+Graph SmallWorkload() {
+  Graph g("served_conv");
+  int x = g.AddInput("x", {1, 4, 10, 10});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = g.AddPad(x, pad, "pad");
+  int w = g.AddConstant("w", {8, 4, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = g.AddConv(graph::OpKind::kConv2d, p, w, attrs, "conv");
+  int b = g.AddConstant("b", {8});
+  g.AddRelu(g.AddBiasAdd(c, b, 1, "bias"), "relu");
+  return g;
+}
+
+void AssignSplitLayouts(const Graph& g, LayoutAssignment& la) {
+  for (const auto& t : g.tensors()) {
+    if (t.shape.size() == 4 && t.shape[1] % 4 == 0) {
+      layout::LayoutSeq seq;
+      seq.Append(layout::Primitive::Split(1, {t.shape[1] / 4, 4}));
+      la.Set(t.id, seq);
+    }
+  }
+}
+
+runtime::TensorDataMap MakeRequest(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  runtime::TensorDataMap data;
+  runtime::FillGraphInputs(g, rng, data);
+  return data;
+}
+
+struct Workload {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  loop::LoweredNetwork net;
+
+  Workload() {
+    AssignSplitLayouts(g, la);
+    auto lowered = loop::LowerNetworkNaive(g, la, true);
+    ALT_CHECK(lowered.ok());
+    net = std::move(*lowered);
+  }
+
+  std::vector<float> Expected(uint64_t seed) const {
+    auto session = runtime::InferenceSession::Create(g, la, net);
+    ALT_CHECK(session.ok());
+    auto out = session->Run(MakeRequest(g, seed));
+    ALT_CHECK(out.ok());
+    return *out;
+  }
+};
+
+TEST(Server, InferMatchesDirectSessionBitExactly) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 4;
+  options.policy.max_delay_us = 500;
+  options.workers = 2;
+  options.intra_batch_threads = 2;
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    auto out = server.Infer("m", MakeRequest(w.g, seed));
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    std::vector<float> expected = w.Expected(seed);
+    ASSERT_EQ(out->size(), expected.size());
+    EXPECT_EQ(0, std::memcmp(out->data(), expected.data(),
+                             expected.size() * sizeof(float)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Server, TimeoutDispatchesPartialBatch) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 64;  // never filled by this test
+  options.policy.max_delay_us = 1000;
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  // 3 requests << max_batch_size: only the timeout can release them.
+  std::vector<std::future<Response>> futures;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    futures.push_back(server.Submit("m", MakeRequest(w.g, seed)));
+  }
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto out = futures[seed - 1].get();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, w.Expected(seed));
+  }
+  MetricsSnapshot metrics = server.Metrics();
+  EXPECT_GE(metrics.counter("serving.batches"), 1);
+  const HistogramSnapshot* sizes = metrics.histogram("serving.batch_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_LE(sizes->max, 3.0);  // a partial batch, never a full 64
+  EXPECT_EQ(server.queue_depth(), 0);
+}
+
+TEST(Server, FullBatchDispatchesWithoutWaitingForTimeout) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 4;
+  options.policy.max_delay_us = 60'000'000;  // any timeout dispatch hangs the test
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  std::vector<std::future<Response>> futures;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    futures.push_back(server.Submit("m", MakeRequest(w.g, seed)));
+  }
+  for (auto& f : futures) {
+    auto out = f.get();  // resolves only because the size trigger fired
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+  MetricsSnapshot metrics = server.Metrics();
+  EXPECT_EQ(metrics.counter("serving.completed"), 4);
+}
+
+TEST(Server, ShutdownDrainsQueuedRequests) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 64;
+  options.policy.max_delay_us = 60'000'000;  // only the drain can release these
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  std::vector<std::future<Response>> futures;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    futures.push_back(server.Submit("m", MakeRequest(w.g, seed)));
+  }
+  server.Shutdown();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto out = futures[seed - 1].get();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, w.Expected(seed));
+  }
+  EXPECT_EQ(server.queue_depth(), 0);
+  // Post-shutdown admission is rejected, not dropped.
+  auto late = server.Infer("m", MakeRequest(w.g, 9));
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Server, OneBadRequestFailsAloneInItsBatch) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 3;
+  options.policy.max_delay_us = 60'000'000;  // force the 3 into one batch
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  runtime::TensorDataMap bad = MakeRequest(w.g, 2);
+  bad.erase(bad.begin()->first);  // missing feed
+  auto good_a = server.Submit("m", MakeRequest(w.g, 1));
+  auto bad_f = server.Submit("m", std::move(bad));
+  auto good_b = server.Submit("m", MakeRequest(w.g, 3));
+
+  auto out_a = good_a.get();
+  auto out_bad = bad_f.get();
+  auto out_b = good_b.get();
+  ASSERT_TRUE(out_a.ok()) << out_a.status().ToString();
+  EXPECT_FALSE(out_bad.ok());
+  ASSERT_TRUE(out_b.ok()) << out_b.status().ToString();
+  EXPECT_EQ(*out_a, w.Expected(1));
+  EXPECT_EQ(*out_b, w.Expected(3));
+  MetricsSnapshot metrics = server.Metrics();
+  EXPECT_EQ(metrics.counter("serving.completed"), 2);
+  EXPECT_EQ(metrics.counter("serving.failed"), 1);
+}
+
+TEST(Server, RejectsUnknownModelAndFullQueue) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 64;
+  options.policy.max_delay_us = 60'000'000;  // nothing dispatches during the test
+  options.queue_capacity = 2;
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  auto unknown = server.Infer("nope", MakeRequest(w.g, 1));
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  auto a = server.Submit("m", MakeRequest(w.g, 1));
+  auto b = server.Submit("m", MakeRequest(w.g, 2));
+  auto overflow = server.Submit("m", MakeRequest(w.g, 3)).get();
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(server.Metrics().counter("serving.rejected"), 2);
+  server.Shutdown();  // drains a and b
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+}
+
+TEST(Server, DuplicateModelNameRejected) {
+  Workload w;
+  Server server;
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+  EXPECT_FALSE(server.AddModel("m", w.g, w.la, w.net).ok());
+}
+
+TEST(Server, SwapValidatesServingInterface) {
+  Workload w;
+  Server server;
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  // Unknown model.
+  EXPECT_EQ(server.SwapModel("nope", w.g, w.la, w.net).code(), StatusCode::kNotFound);
+}
+
+TEST(Server, SwapRejectsChangedInterface) {
+  Workload w;
+  Server server;
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  // A graph with a different input shape must not swap in.
+  Graph other("served_conv");
+  int x = other.AddInput("x", {1, 4, 12, 12});
+  graph::PadAttrs pad;
+  pad.before = {0, 0, 1, 1};
+  pad.after = {0, 0, 1, 1};
+  int p = other.AddPad(x, pad, "pad");
+  int ow = other.AddConstant("w", {8, 4, 3, 3});
+  graph::ConvAttrs attrs;
+  int c = other.AddConv(graph::OpKind::kConv2d, p, ow, attrs, "conv");
+  int b = other.AddConstant("b", {8});
+  other.AddRelu(other.AddBiasAdd(c, b, 1, "bias"), "relu");
+  LayoutAssignment la;
+  auto net = loop::LowerNetworkNaive(other, la, true);
+  ASSERT_TRUE(net.ok());
+  Status swap = server.SwapModel("m", other, la, *net);
+  EXPECT_FALSE(swap.ok());
+  EXPECT_EQ(swap.code(), StatusCode::kInvalidArgument);
+  // The live model still serves.
+  EXPECT_TRUE(server.Infer("m", MakeRequest(w.g, 1)).ok());
+}
+
+// Hot-swap under live traffic: client threads hammer Infer while the main
+// thread repeatedly swaps the model for a freshly built session of the same
+// network. Every response must be bit-identical to the expected output —
+// in-flight batches finish on the session they started with, so no request
+// ever observes a half-swapped model. TSan (CI) checks the flip itself.
+TEST(Server, HotSwapUnderLiveTrafficKeepsBitIdentity) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 4;
+  options.policy.max_delay_us = 200;
+  options.workers = 2;
+  options.intra_batch_threads = 2;
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 12;
+  std::vector<std::vector<float>> expected;
+  for (int c = 0; c < kClients; ++c) {
+    expected.push_back(w.Expected(100 + c));
+  }
+
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        auto out = server.Infer("m", MakeRequest(w.g, 100 + c));
+        if (!out.ok() || *out != expected[c]) {
+          ++mismatches[c];
+        }
+      }
+    });
+  }
+  int swaps_done = 0;
+  for (int s = 0; s < 8; ++s) {
+    if (server.SwapModel("m", w.g, w.la, w.net).ok()) {
+      ++swaps_done;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(swaps_done, 8);
+  EXPECT_EQ(server.Metrics().counter("serving.swaps"), 8);
+}
+
+// Tune a small network, serve it, then hot-swap in the artifact round-trip
+// of the same network: the reproduction contract (save → load → re-lower is
+// bit-identical) extends across a live hot reload.
+TEST(Server, SwapFromReloadedArtifactStaysBitIdentical) {
+  core::AltOptions alt_options;
+  alt_options.budget = 80;
+  alt_options.method = autotune::SearchMethod::kRandom;
+  alt_options.seed = 7;
+  graph::Graph g = SmallWorkload();
+  auto tuned = core::Compile(g, sim::Machine::IntelCpu(), alt_options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+
+  const std::string path = ::testing::TempDir() + "/served_swap.altart";
+  Status saved = core::SaveArtifact(*tuned, sim::Machine::IntelCpu(), alt_options, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = core::LoadArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Server server;
+  ASSERT_TRUE(server.AddModel("m", tuned->graph, tuned->assignment,
+                              {tuned->groups, tuned->programs})
+                  .ok());
+  runtime::TensorDataMap request = MakeRequest(tuned->graph, 7);
+  auto before = server.Infer("m", request);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  Status swap = server.SwapModel("m", *loaded);
+  ASSERT_TRUE(swap.ok()) << swap.ToString();
+  auto after = server.Infer("m", request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(before->size(), after->size());
+  EXPECT_EQ(0, std::memcmp(before->data(), after->data(),
+                           before->size() * sizeof(float)));
+  EXPECT_EQ(server.Metrics().counter("serving.swaps"), 1);
+}
+
+TEST(Server, MetricsExposeQueueDepthGaugeAndPerModelLatency) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 2;
+  options.policy.max_delay_us = 500;
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ASSERT_TRUE(server.Infer("m", MakeRequest(w.g, seed)).ok());
+  }
+  MetricsSnapshot metrics = server.Metrics();
+  EXPECT_EQ(metrics.counter("serving.requests"), 4);
+  EXPECT_EQ(metrics.counter("serving.completed"), 4);
+  EXPECT_EQ(metrics.gauge("serving.queue_depth"), 0);  // drained
+  const HistogramSnapshot* latency = metrics.histogram("serving.m.request_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 4);
+  EXPECT_GT(latency->p50, 0.0);
+  EXPECT_GE(latency->p99, latency->p50);
+  const HistogramSnapshot* waits = metrics.histogram("serving.queue_wait_us");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_EQ(waits->count, 4);
+}
+
+}  // namespace
+}  // namespace alt::serving

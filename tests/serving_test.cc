@@ -186,6 +186,107 @@ TEST(InferenceSession, RunBatchMatchesSequentialRuns) {
   }
 }
 
+TEST(InferenceSession, RunBatchDetailedKeepsGoodResultsOfMixedBatch) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+
+  std::vector<TensorDataMap> requests;
+  requests.push_back(MakeRequest(g, 300));
+  TensorDataMap bad = MakeRequest(g, 301);
+  bad.erase(bad.begin()->first);  // malformed: missing feed
+  requests.push_back(std::move(bad));
+  requests.push_back(MakeRequest(g, 302));
+
+  ThreadPool pool(2);
+  auto results = session->RunBatchDetailed(requests, pool);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_FALSE(results[1].ok());  // only the malformed request fails...
+  ASSERT_TRUE(results[2].ok()) << results[2].status().ToString();
+  auto expect_0 = session->Run(requests[0]);
+  auto expect_2 = session->Run(requests[2]);
+  ASSERT_TRUE(expect_0.ok() && expect_2.ok());
+  EXPECT_EQ(*results[0], *expect_0);  // ...and the good outputs survive
+  EXPECT_EQ(*results[2], *expect_2);
+
+  // The all-or-nothing wrapper still collapses a mixed batch to its first
+  // failure.
+  EXPECT_FALSE(session->RunBatch(requests, 2).ok());
+}
+
+TEST(InferenceSession, ResolveBatchThreadsClampsZeroHardwareConcurrency) {
+  // hardware_concurrency() may legitimately report 0; a ThreadPool(0) must
+  // never be constructed from it.
+  EXPECT_EQ(ResolveBatchThreads(0, 0), 1);
+  EXPECT_EQ(ResolveBatchThreads(-3, 0), 1);
+  EXPECT_EQ(ResolveBatchThreads(0, 8), 8);
+  EXPECT_EQ(ResolveBatchThreads(3, 0), 3);
+  EXPECT_EQ(ResolveBatchThreads(3, 8), 3);
+}
+
+TEST(InferenceSession, ArenaPoolIsCappedAndBorrowersBlock) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  AssignSplitLayouts(g, la);
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  SessionOptions options;
+  options.max_arenas = 1;
+  auto session = InferenceSession::Create(g, la, *net, options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->max_arenas(), 1);
+
+  // 4 threads hammer the single-arena session: the cap means borrowers queue
+  // (blocking in Run) instead of materializing more arenas, and every run
+  // still produces the right bits.
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 6;
+  std::vector<TensorDataMap> requests;
+  std::vector<std::vector<float>> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    requests.push_back(MakeRequest(g, 400 + t));
+    auto out = session->Run(requests.back());
+    ASSERT_TRUE(out.ok());
+    expected.push_back(std::move(*out));
+  }
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        auto out = session->Run(requests[t]);
+        if (!out.ok() || *out != expected[t]) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+  EXPECT_EQ(session->arena_count(), 1);  // the cap held under contention
+}
+
+TEST(InferenceSession, DefaultArenaCapIsAtLeastTwo) {
+  Graph g = SmallWorkload();
+  LayoutAssignment la;
+  auto net = loop::LowerNetworkNaive(g, la, true);
+  ASSERT_TRUE(net.ok());
+  auto session = InferenceSession::Create(g, la, *net);
+  ASSERT_TRUE(session.ok());
+  // Default: 2x hardware threads, floored at 2 even when
+  // hardware_concurrency() reports 0.
+  EXPECT_GE(session->max_arenas(), 2);
+}
+
 TEST(ValidateAgainstReference, AcceptsOptionsStruct) {
   Graph g = SmallWorkload();
   LayoutAssignment la;

@@ -572,10 +572,29 @@ TEST(MetricsTest, SnapshotJsonIsStructurallyValid) {
   auto& registry = MetricsRegistry::Global();
   registry.counter("test.json_counter").Add(3);
   registry.histogram("test.json_hist").Observe(42.0);
+  registry.gauge("test.json_gauge").Set(-4);
   std::string json = registry.Snapshot().ToJson();
   EXPECT_TRUE(IsStructurallyValidJson(json));
   EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": -4"), std::string::npos);
+}
+
+TEST(MetricsTest, GaugeTracksALevelNotATotal) {
+  auto& registry = MetricsRegistry::Global();
+  Gauge& depth = registry.gauge("test.queue_depth");
+  depth.Set(10);
+  depth.Add(3);
+  depth.Add(-5);  // levels go down; counters never do
+  EXPECT_EQ(depth.value(), 8);
+
+  MetricsSnapshot before = registry.Snapshot();
+  depth.Set(2);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  // A gauge is a point-in-time reading: DeltaSince reports the end value
+  // (2), not the 2 - 8 difference, and unknown gauges read as 0.
+  EXPECT_EQ(delta.gauge("test.queue_depth"), 2);
+  EXPECT_EQ(delta.gauge("test.never_created"), 0);
 }
 
 }  // namespace
