@@ -22,6 +22,17 @@
 //     the serving::Server front-end — dynamic batching under the default
 //     size/timeout policy — and print the operator metrics (per-model
 //     p50/p95/p99, batch sizes, queue waits) when the traffic drains.
+//
+// Robustness (alt/alt-ol/alt-wp methods only):
+//   --workers <n> or ALT_WORKERS=<n>
+//     Evaluate candidates in n forked worker subprocesses (crash isolation):
+//     a candidate that crashes, hangs, or corrupts its reply is retried and
+//     quarantined instead of killing the tuner. Trajectory-identical to
+//     in-process measurement.
+//   --tuning-db <path> or ALT_TUNING_DB=<path>
+//     Persistent tuning database: measurements are looked up here before
+//     running and appended after, so re-running the same tuning command
+//     warm-starts with zero redundant measurements.
 
 #include <cstdio>
 #include <cstdlib>
@@ -143,6 +154,8 @@ int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count) {
 int main(int argc, char** argv) {
   using namespace alt;
   std::string artifact_path = std::getenv("ALT_ARTIFACT") ? std::getenv("ALT_ARTIFACT") : "";
+  std::string tuning_db_path = std::getenv("ALT_TUNING_DB") ? std::getenv("ALT_TUNING_DB") : "";
+  int workers = std::getenv("ALT_WORKERS") ? std::atoi(std::getenv("ALT_WORKERS")) : 0;
   int serve_requests = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
@@ -150,6 +163,10 @@ int main(int argc, char** argv) {
       artifact_path = argv[++i];
     } else if (std::string(argv[i]) == "--serve" && i + 1 < argc) {
       serve_requests = std::atoi(argv[++i]);
+    } else if (std::string(argv[i]) == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::string(argv[i]) == "--tuning-db" && i + 1 < argc) {
+      tuning_db_path = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
@@ -193,6 +210,11 @@ int main(int argc, char** argv) {
     if (const char* trace = std::getenv("ALT_TRACE")) {
       options.trace.path = trace;
     }
+    if (workers > 0) {
+      options.measure.isolate = true;
+      options.measure.workers = workers;
+    }
+    options.measure.database = tuning_db_path;
     if (method == "alt-ol") {
       options.variant = core::AltVariant::kLoopOnly;
     } else if (method == "alt-wp") {

@@ -65,7 +65,9 @@ class NsAccumulator {
   int64_t start_;
 };
 
-int BackoffMs(const RetryPolicy& retry, int retry_number) {
+}  // namespace
+
+int RetryBackoffMs(const RetryPolicy& retry, int retry_number) {
   if (retry.backoff_base_ms <= 0) {
     return 0;
   }
@@ -75,8 +77,6 @@ int BackoffMs(const RetryPolicy& retry, int retry_number) {
   }
   return static_cast<int>(std::min<int64_t>(delay, retry.backoff_cap_ms));
 }
-
-}  // namespace
 
 std::string GroupCacheKey(const graph::Graph& graph,
                           const graph::LayoutAssignment& assignment,
@@ -121,7 +121,23 @@ int64_t MeasureEngine::analysis_cache_size() const {
 
 bool MeasureEngine::keyed() const {
   return config_.cache_enabled || config_.replay != nullptr ||
-         static_cast<bool>(config_.on_measured) || injector_.enabled();
+         static_cast<bool>(config_.on_measured) || injector_.enabled() ||
+         config_.database != nullptr || config_.isolate.enabled;
+}
+
+bool MeasureEngine::InsertQuarantine(const std::string& key) {
+  if (!quarantine_.insert(key).second) {
+    return false;
+  }
+  quarantine_order_.push_back(key);
+  const int cap = config_.retry.max_quarantine;
+  if (cap > 0) {
+    while (static_cast<int>(quarantine_order_.size()) > cap) {
+      quarantine_.erase(quarantine_order_.front());
+      quarantine_order_.pop_front();
+    }
+  }
+  return true;
 }
 
 std::vector<MeasureResult> MeasureEngine::Measure(
@@ -180,7 +196,29 @@ std::vector<MeasureResult> MeasureEngine::Measure(
           results[i].status = Status::Unavailable("replayed measurement failure");
           results[i].replayed = true;
           measure_slot[i] = false;
-          quarantine_.insert(keys[i]);
+          InsertQuarantine(keys[i]);
+          continue;
+        }
+      }
+      if (config_.database != nullptr) {
+        // Warm start: measurements persisted by previous runs. Consulted
+        // after cache/quarantine/replay so in-run memoization and journal
+        // resume keep priority; hits use replay semantics (cache_hit ==
+        // false) so the warm run spends budget exactly as the cold run did.
+        auto entry = config_.database->Lookup(sites[i]);
+        if (entry.has_value()) {
+          results[i].db_hit = true;
+          measure_slot[i] = false;
+          if (!entry->failed) {
+            results[i].latency_us = entry->latency_us;
+            if (config_.cache_enabled) {
+              cache_.emplace(keys[i], entry->latency_us);
+            }
+          } else {
+            results[i].status =
+                Status::Unavailable("measurement failed in a previous run (tuning database)");
+            InsertQuarantine(keys[i]);
+          }
           continue;
         }
       }
@@ -217,70 +255,108 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   Histogram& queue_wait_hist = MetricsRegistry::Global().histogram("measure.queue_wait_us");
   Histogram& candidate_hist = MetricsRegistry::Global().histogram("measure.candidate_us");
   const int64_t submit_ns = TraceRecorder::NowNs();
-  Status pool_status = pool_.ParallelFor(w_count, [&](int w) {
-    int i = work[w];
-    // Time from batch submission until a pool thread picked this slot up.
-    queue_wait_hist.Observe(static_cast<double>(TraceRecorder::NowNs() - submit_ns) * 1e-3);
-    TraceSpan candidate_span("measure.candidate");
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
-      if (attempt > 0) {
-        ++slot_retries[w];
-        int delay = BackoffMs(config_.retry, attempt);
-        slot_backoff[w] += delay;
-        if (delay > 0) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  Status pool_status = Status::Ok();
+  if (config_.isolate.enabled && w_count > 0) {
+    // Out-of-process evaluation: a WorkerPool schedules the misses onto
+    // forked worker subprocesses, handling retry/backoff/injected faults
+    // itself with the same accounting as the loop below; the engine keeps
+    // only the slot-ordered reduction. The analysis cache is skipped —
+    // children cannot publish into the parent's cache — which changes
+    // analysis_cache_hits but never a latency (EstimateProgram is pure).
+    auto eval = [&](int i) -> WorkerEval {
+      auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
+      if (!program.ok()) {
+        return {program.status(), 0.0};
+      }
+      return {Status::Ok(), sim::EstimateProgram(*program, machine_).latency_us};
+    };
+    WorkerPool workers(config_.isolate, config_.retry,
+                       injector_.enabled() ? &injector_ : nullptr, sites, eval);
+    std::vector<WorkerOutcome> outcomes = workers.Run(work);
+    for (int w = 0; w < w_count; ++w) {
+      const int i = work[w];
+      const WorkerOutcome& o = outcomes[w];
+      results[i].status = o.status;
+      if (o.status.ok()) {
+        results[i].latency_us = o.latency_us;
+      }
+      results[i].attempts = o.attempts;
+      slot_retries[w] = o.retries;
+      slot_injected[w] = o.injected;
+      slot_backoff[w] = o.backoff_ms;
+      slot_cpu_ns[w] = o.eval_ns;
+      slot_done[w] = 1;
+      candidate_hist.Observe(static_cast<double>(o.eval_ns) * 1e-3);
+    }
+    stats_.worker_restarts += workers.restarts();
+  } else {
+    pool_status = pool_.ParallelFor(w_count, [&](int w) {
+      int i = work[w];
+      // Time from batch submission until a pool thread picked this slot up.
+      queue_wait_hist.Observe(static_cast<double>(TraceRecorder::NowNs() - submit_ns) *
+                              1e-3);
+      TraceSpan candidate_span("measure.candidate");
+      for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          ++slot_retries[w];
+          int delay = RetryBackoffMs(config_.retry, attempt);
+          slot_backoff[w] += delay;
+          if (delay > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          }
         }
-      }
-      NsAccumulator attempt_timer(&slot_cpu_ns[w]);
-      ++results[i].attempts;
-      if (injector_.enabled() && injector_.ShouldFail(sites[i], attempt)) {
-        ++slot_injected[w];
-        results[i].status = Status::Unavailable("injected transient measurement fault");
-        continue;  // transient: retry
-      }
-      try {
-        auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
-        if (!program.ok()) {
-          results[i].status = program.status();  // deterministic: no retry
+        NsAccumulator attempt_timer(&slot_cpu_ns[w]);
+        ++results[i].attempts;
+        if (injector_.enabled() && injector_.ShouldFail(sites[i], attempt)) {
+          ++slot_injected[w];
+          results[i].status = Status::Unavailable("injected transient measurement fault");
+          continue;  // transient: retry
+        }
+        try {
+          auto program = loop::LowerGroup(graph, assignment, group, schedules[i]);
+          if (!program.ok()) {
+            results[i].status = program.status();  // deterministic: no retry
+            break;
+          }
+          if (config_.analysis_cache) {
+            // Structurally identical programs (e.g. schedules differing only
+            // in omitted unit loops) analyze once; EstimateProgram is pure in
+            // the structure + buffer shapes the key captures, so a hit
+            // returns the exact latency a fresh analysis would.
+            std::string akey = ir::ProgramStructureKey(*program);
+            bool hit = false;
+            double latency = 0.0;
+            {
+              std::lock_guard<std::mutex> lock(analysis_mu_);
+              auto it = analysis_cache_.find(akey);
+              if (it != analysis_cache_.end()) {
+                hit = true;
+                latency = it->second;
+              }
+            }
+            if (hit) {
+              slot_analysis_hit[w] = 1;
+            } else {
+              latency = sim::EstimateProgram(*program, machine_).latency_us;
+              std::lock_guard<std::mutex> lock(analysis_mu_);
+              analysis_cache_.emplace(std::move(akey), latency);
+            }
+            results[i].latency_us = latency;
+          } else {
+            results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
+          }
+          results[i].status = Status::Ok();
+          break;
+        } catch (const std::exception& e) {
+          results[i].status =
+              Status::Internal(std::string("measurement threw: ") + e.what());
           break;
         }
-        if (config_.analysis_cache) {
-          // Structurally identical programs (e.g. schedules differing only in
-          // omitted unit loops) analyze once; EstimateProgram is pure in the
-          // structure + buffer shapes the key captures, so a hit returns the
-          // exact latency a fresh analysis would.
-          std::string akey = ir::ProgramStructureKey(*program);
-          bool hit = false;
-          double latency = 0.0;
-          {
-            std::lock_guard<std::mutex> lock(analysis_mu_);
-            auto it = analysis_cache_.find(akey);
-            if (it != analysis_cache_.end()) {
-              hit = true;
-              latency = it->second;
-            }
-          }
-          if (hit) {
-            slot_analysis_hit[w] = 1;
-          } else {
-            latency = sim::EstimateProgram(*program, machine_).latency_us;
-            std::lock_guard<std::mutex> lock(analysis_mu_);
-            analysis_cache_.emplace(std::move(akey), latency);
-          }
-          results[i].latency_us = latency;
-        } else {
-          results[i].latency_us = sim::EstimateProgram(*program, machine_).latency_us;
-        }
-        results[i].status = Status::Ok();
-        break;
-      } catch (const std::exception& e) {
-        results[i].status = Status::Internal(std::string("measurement threw: ") + e.what());
-        break;
       }
-    }
-    candidate_hist.Observe(static_cast<double>(slot_cpu_ns[w]) * 1e-3);
-    slot_done[w] = 1;
-  });
+      candidate_hist.Observe(static_cast<double>(slot_cpu_ns[w]) * 1e-3);
+      slot_done[w] = 1;
+    });
+  }
 
   // Reduce in deterministic slot order on the calling thread.
   for (int w = 0; w < w_count; ++w) {
@@ -306,10 +382,18 @@ std::vector<MeasureResult> MeasureEngine::Measure(
       ++stats_.failed;
       if (keyed()) {
         std::lock_guard<std::mutex> lock(cache_mu_);
-        if (quarantine_.insert(keys[i]).second) {
+        if (InsertQuarantine(keys[i])) {
           ++stats_.quarantined;
         }
       }
+    }
+    if (config_.database != nullptr) {
+      // Write-through: persist this measurement so a later run against the
+      // same database (and machine) never re-measures the candidate.
+      MeasureDatabase::Entry entry;
+      entry.failed = !results[i].status.ok();
+      entry.latency_us = entry.failed ? 0.0 : results[i].latency_us;
+      config_.database->Record(sites[i], entry);
     }
     if (config_.on_measured) {
       config_.on_measured(keys[i], results[i]);
@@ -321,6 +405,7 @@ std::vector<MeasureResult> MeasureEngine::Measure(
       // The first occurrence paid the measurement; this one is free.
       results[i].attempts = 0;
       results[i].replayed = false;
+      results[i].db_hit = false;
       if (results[i].status.ok()) {
         results[i].cache_hit = true;
         ++stats_.cache_hits;
@@ -331,6 +416,8 @@ std::vector<MeasureResult> MeasureEngine::Measure(
       ++stats_.cache_hits;
     } else if (results[i].replayed) {
       ++stats_.replayed;
+    } else if (results[i].db_hit) {
+      ++stats_.db_hits;
     } else if (!measure_slot[i] && !results[i].status.ok()) {
       ++stats_.failed;  // quarantine short-circuit
     }
@@ -355,6 +442,8 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   static Counter& c_quarantined = registry.counter("measure.quarantined");
   static Counter& c_injected = registry.counter("measure.injected_failures");
   static Counter& c_analysis_hits = registry.counter("measure.analysis_cache_hits");
+  static Counter& c_db_hits = registry.counter("measure.db_hits");
+  static Counter& c_worker_restarts = registry.counter("measure.worker_restarts");
   c_requested.Add(stats_.requested - stats_before.requested);
   c_measured.Add(stats_.measured - stats_before.measured);
   c_cache_hits.Add(stats_.cache_hits - stats_before.cache_hits);
@@ -364,6 +453,9 @@ std::vector<MeasureResult> MeasureEngine::Measure(
   c_quarantined.Add(stats_.quarantined - stats_before.quarantined);
   c_injected.Add(stats_.injected_failures - stats_before.injected_failures);
   c_analysis_hits.Add(stats_.analysis_cache_hits - stats_before.analysis_cache_hits);
+  c_db_hits.Add(stats_.db_hits - stats_before.db_hits);
+  c_worker_restarts.Add(stats_.worker_restarts - stats_before.worker_restarts);
+  registry.gauge("measure.quarantine_size").Set(static_cast<double>(quarantine_size()));
   return results;
 }
 

@@ -31,6 +31,18 @@
 //     spends budget exactly as the original did, and successful replays are
 //     inserted into the cache so later duplicates hit it exactly as in the
 //     original run. This is what makes journal resume deterministic.
+//   * WARM START — an optional MeasureDatabase (core::TuningDatabase on
+//     disk) answers measurements recorded by PREVIOUS runs, consulted after
+//     cache/quarantine/replay and written through on every fresh outcome.
+//     Database hits use replay semantics (cache_hit == false, budget spent),
+//     so a warm-started run walks the exact trajectory of a cold run and
+//     issues zero redundant measurements.
+//   * ISOLATION — with MeasureEngineConfig::isolate enabled, fresh
+//     candidates are evaluated in forked worker subprocesses (worker_pool.h)
+//     instead of on the thread pool; a candidate that crashes, hangs, or
+//     corrupts its reply costs a worker respawn and a retry, never the tuner
+//     process, and persistent offenders land in the quarantine like any
+//     other persistent failure.
 //
 // The cache and quarantine set are thread-safe; lookups and inserts happen on
 // the reducing thread, misses are measured on the pool.
@@ -39,13 +51,16 @@
 #define ALT_AUTOTUNE_MEASURE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/autotune/worker_pool.h"
 #include "src/graph/layout_assignment.h"
 #include "src/loop/lowering.h"
 #include "src/sim/perf_model.h"
@@ -57,7 +72,7 @@ namespace alt::autotune {
 // Per-run counters, surfaced on CompiledNetwork and logged at the end of a
 // tuning run so cache effectiveness, parallel speedup, and fault recovery are
 // observable. Invariant: requested == measured + cache_hits + failed +
-// replayed (the four buckets are disjoint).
+// replayed + db_hits (the five buckets are disjoint).
 struct MeasureStats {
   int64_t requested = 0;   // candidates submitted to the engine
   int64_t measured = 0;    // actual lower+estimate executions that succeeded
@@ -65,8 +80,12 @@ struct MeasureStats {
   int64_t failed = 0;      // fresh failures (lowering errors, retries exhausted,
                            // quarantine short-circuits)
   int64_t replayed = 0;    // candidates answered from a replay log (ok or fail)
+  int64_t db_hits = 0;     // candidates answered from the tuning database
   int64_t retries = 0;     // extra attempts after a transient failure
   int64_t quarantined = 0; // distinct keys placed in quarantine
+  // Measurement workers killed and respawned by the isolated path (crash,
+  // garbled frame, or missed deadline). 0 unless isolation is enabled.
+  int64_t worker_restarts = 0;
   // Fresh measurements whose lowered program matched an already-analyzed
   // structure (ir::ProgramStructureKey) and skipped sim::EstimateProgram.
   // These still count as `measured` — the candidate was lowered — but the
@@ -95,8 +114,12 @@ struct MeasureResult {
   // Answered from a replay log; reported with cache_hit == false so the
   // caller's budget accounting matches the run that produced the log.
   bool replayed = false;
+  // Answered from the persistent tuning database (warm start). Like replay,
+  // reported with cache_hit == false so a warm-started run spends budget
+  // exactly as the run that populated the database did.
+  bool db_hit = false;
   // Lower+estimate attempts spent on this result (1 for a clean first try;
-  // 0 for cache/replay/quarantine answers).
+  // 0 for cache/replay/database/quarantine answers).
   int attempts = 0;
 };
 
@@ -108,6 +131,33 @@ struct RetryPolicy {
   int max_attempts = 3;
   int backoff_base_ms = 0;
   int backoff_cap_ms = 100;
+  // Cap on the quarantine set: once this many keys are quarantined, the
+  // OLDEST entry is evicted per insertion (it may then be re-measured and
+  // re-quarantined — correctness is unaffected, only memoized failure
+  // short-circuits are lost). <= 0: unbounded, the historical behavior.
+  int max_quarantine = 4096;
+};
+
+// Backoff in ms before retry number `retry_number` (1-based) under `retry`.
+// Shared by the in-process and isolated measurement paths so both charge
+// identical backoff_ms for identical failure sequences.
+int RetryBackoffMs(const RetryPolicy& retry, int retry_number);
+
+// Persistent store of measured outcomes, keyed by the 64-bit site fingerprint
+// (Fnv1a64 of the full measurement cache key — the same identity the tuning
+// journal records). Implemented by core::TuningDatabase; the interface lives
+// here so autotune does not depend on core (mirrors TuningEventSink). Called
+// only from the engine's reducing thread, never concurrently.
+class MeasureDatabase {
+ public:
+  struct Entry {
+    bool failed = false;     // the measurement failed persistently
+    double latency_us = 0.0; // valid when !failed
+  };
+
+  virtual ~MeasureDatabase() = default;
+  virtual std::optional<Entry> Lookup(uint64_t site) = 0;
+  virtual void Record(uint64_t site, const Entry& entry) = 0;
 };
 
 // Measurements recovered from a tuning journal, keyed by Fnv1a64 of the full
@@ -132,8 +182,20 @@ struct MeasureEngineConfig {
   bool analysis_cache = true;
   FaultInjector::Options faults;
   RetryPolicy retry;
+  // Out-of-process measurement isolation (see worker_pool.h). When enabled,
+  // fresh candidates are evaluated in forked worker processes instead of on
+  // the thread pool; a crashing, hanging, or garbling candidate costs a
+  // worker respawn and a retry, never the tuner process. Results are
+  // bit-identical to the in-process path (the isolated path skips the
+  // analysis cache — EstimateProgram is pure, so only analysis_cache_hits
+  // differs, never a latency).
+  IsolateOptions isolate;
   // Not owned; must outlive the engine when set.
   const MeasureReplayLog* replay = nullptr;
+  // Persistent warm-start store, consulted after cache/quarantine/replay and
+  // written through on every fresh outcome. Not owned; must outlive the
+  // engine when set.
+  MeasureDatabase* database = nullptr;
   // Invoked on the reducing thread, in deterministic slot order, once per
   // FRESH measurement outcome (success or persistent failure) — never for
   // cache hits, replays, or quarantine short-circuits. The journal writer
@@ -188,9 +250,15 @@ class MeasureEngine {
   FaultInjector injector_;
   ThreadPool pool_;
 
+  // Inserts `key` into the quarantine set, evicting the oldest entry when
+  // RetryPolicy::max_quarantine is exceeded. Returns whether the key was
+  // newly inserted. Requires cache_mu_ held.
+  bool InsertQuarantine(const std::string& key);
+
   mutable std::mutex cache_mu_;
   std::unordered_map<std::string, double> cache_;  // key -> latency_us (ok only)
   std::unordered_set<std::string> quarantine_;     // keys that fail persistently
+  std::deque<std::string> quarantine_order_;       // insertion order, for eviction
 
   // Structure key -> latency_us. Guarded separately from cache_mu_: lookups
   // happen on pool threads mid-measurement, not on the reducing thread.

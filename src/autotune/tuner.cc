@@ -28,6 +28,11 @@ MeasureEngineConfig EngineConfig(const TuningOptions& options) {
   c.faults = options.fault_injection;
   c.retry = options.measure_retry;
   c.replay = options.measure_replay;
+  c.isolate.enabled = options.isolate_measurement;
+  c.isolate.workers = options.measure_workers;
+  c.isolate.deadline_ms = options.measure_deadline_ms;
+  c.isolate.faults = options.worker_faults;
+  c.database = options.measure_database;
   if (options.event_sink != nullptr) {
     TuningEventSink* sink = options.event_sink;
     c.on_measured = [sink](const std::string& key, const MeasureResult& result) {
@@ -721,8 +726,10 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
   const MeasureStats& ms = result.measure_stats;
   ALT_LOG(Info) << "measure engine: " << ms.requested << " candidates, " << ms.measured
                 << " measured, " << ms.cache_hits << " cache hits, " << ms.replayed
-                << " replayed, " << ms.failed << " failed, " << ms.retries << " retries, "
-                << ms.quarantined << " quarantined, wall " << FormatMicros(ms.wall_ms * 1e3)
+                << " replayed, " << ms.db_hits << " db hits, " << ms.failed << " failed, "
+                << ms.retries << " retries, " << ms.quarantined << " quarantined, "
+                << ms.worker_restarts << " worker restarts, wall "
+                << FormatMicros(ms.wall_ms * 1e3)
                 << " (" << engine_.threads() << " thread(s), cache "
                 << (engine_.cache_enabled() ? "on" : "off") << ")";
   return result;

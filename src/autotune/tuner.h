@@ -116,6 +116,23 @@ struct TuningOptions {
   const MeasureReplayLog* measure_replay = nullptr;
   TuningEventSink* event_sink = nullptr;
 
+  // Crash isolation (see worker_pool.h). With `isolate_measurement` set,
+  // candidates are evaluated in forked worker subprocesses: a candidate that
+  // crashes, hangs past `measure_deadline_ms`, or corrupts its reply is
+  // retried/quarantined without ever taking the tuner down. The isolated
+  // path is trajectory-identical to in-process measurement for a fixed seed.
+  // `worker_faults` injects child-side failures for testing.
+  bool isolate_measurement = false;
+  int measure_workers = 2;
+  int measure_deadline_ms = 10000;
+  WorkerFaultHooks worker_faults;
+
+  // Persistent tuning database (see measure.h / core/tuning_database.h).
+  // Consulted before measuring and written through after, so a run warm-
+  // started from a populated database issues zero redundant measurements.
+  // Borrowed; must outlive the tuner.
+  MeasureDatabase* measure_database = nullptr;
+
   // When non-empty, Tune() records a span trace of the whole run (tuner
   // phases, loop batches, measurement batches and candidates, PPO updates,
   // journal writes) and writes it to this path as Chrome trace-event JSON.

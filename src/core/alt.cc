@@ -1,7 +1,11 @@
 #include "src/core/alt.h"
 
 #include <map>
+#include <memory>
 #include <mutex>
+
+#include "src/core/tuning_database.h"
+#include "src/support/logging.h"
 
 namespace alt::core {
 
@@ -40,6 +44,10 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   tuning.measure_cache = options.measure.cache;
   tuning.fault_injection = options.fault.injection;
   tuning.measure_retry = options.fault.retry;
+  tuning.isolate_measurement = options.measure.isolate;
+  tuning.measure_workers = options.measure.workers;
+  tuning.measure_deadline_ms = options.measure.deadline_ms;
+  tuning.worker_faults = options.fault.worker;
   tuning.trace_path = options.trace.path;
   switch (options.variant) {
     case AltVariant::kFull:
@@ -58,11 +66,38 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   return tuning;
 }
 
+StatusOr<autotune::CompiledNetwork> RunTuner(const graph::Graph& graph,
+                                             const sim::Machine& machine,
+                                             const AltOptions& options,
+                                             autotune::TuningOptions tuning) {
+  std::unique_ptr<TuningDatabase> database;
+  if (!options.measure.database.empty()) {
+    auto db_or = TuningDatabase::Open(options.measure.database, machine);
+    if (!db_or.ok()) {
+      return db_or.status();
+    }
+    database = std::move(*db_or);
+    tuning.measure_database = database.get();
+    ALT_LOG(Info) << "tuning database " << options.measure.database << ": "
+                  << database->stats().loaded << " measurement(s) for this machine";
+  }
+  autotune::JointTuner tuner(graph, machine, tuning);
+  auto result = tuner.Tune();
+  if (database != nullptr) {
+    Status db_status = database->Close();
+    if (!db_status.ok()) {
+      // The run itself is fine; only its persistence is gone.
+      ALT_LOG(Warning) << "tuning database " << options.measure.database
+                       << " stopped recording: " << db_status.message();
+    }
+  }
+  return result;
+}
+
 StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
                                             const sim::Machine& machine,
                                             const AltOptions& options) {
-  autotune::JointTuner tuner(graph, machine, ToTuningOptions(options, machine));
-  return tuner.Tune();
+  return RunTuner(graph, machine, options, ToTuningOptions(options, machine));
 }
 
 }  // namespace alt::core

@@ -52,13 +52,28 @@ struct MeasureOptions {
   int threads = 1;
   // Memoize measurements keyed by (layout, schedule) serialization.
   bool cache = true;
+  // Crash isolation (see autotune/worker_pool.h): evaluate candidates in
+  // forked worker subprocesses so a crashing or hanging candidate is retried
+  // and quarantined instead of killing the tuner. Trajectory-identical to
+  // in-process measurement for a fixed seed.
+  bool isolate = false;
+  int workers = 2;
+  int deadline_ms = 10000;
+  // Persistent tuning database path (see core/tuning_database.h). When
+  // non-empty, measurements are looked up here before running and written
+  // through after, so a rerun against the same database warm-starts with
+  // zero redundant measurements.
+  std::string database;
 };
 
 // Fault-tolerance knobs (see autotune/measure.h): simulated transient
-// measurement failures and the retry policy that absorbs them.
+// measurement failures and the retry policy that absorbs them. `worker`
+// injects child-side failures (crash / hang / garbled reply) into the
+// isolated measurement path for testing.
 struct FaultOptions {
   FaultInjector::Options injection;
   autotune::RetryPolicy retry;
+  autotune::WorkerFaultHooks worker;
 };
 
 // Observability knobs (see support/trace.h).
@@ -90,6 +105,16 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
 StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
                                             const sim::Machine& machine,
                                             const AltOptions& options);
+
+// Shared tail of every compile path: opens the tuning database when
+// `options.measure.database` is set (wiring it into `tuning`), runs the
+// tuner, and closes the database. Journal-aware entry points call this after
+// layering replay/event-sink state onto `tuning`; Compile is just
+// RunTuner(graph, machine, options, ToTuningOptions(options, machine)).
+StatusOr<autotune::CompiledNetwork> RunTuner(const graph::Graph& graph,
+                                             const sim::Machine& machine,
+                                             const AltOptions& options,
+                                             autotune::TuningOptions tuning);
 
 // Lazily pretrained PPO layout agent shared across compilations (paper §6:
 // the agent is pretrained once on C2D and GMM workloads).

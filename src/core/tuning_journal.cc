@@ -173,15 +173,16 @@ StatusOr<TuningJournalContents> LoadTuningJournal(const std::string& path) {
   return out;
 }
 
-StatusOr<TuningJournalWriter> TuningJournalWriter::Open(const std::string& path,
-                                                        uint64_t fingerprint,
-                                                        bool write_header) {
+StatusOr<TuningJournalWriter> TuningJournalWriter::Open(
+    const std::string& path, uint64_t fingerprint, bool write_header,
+    const TuningJournalOptions& journal_options) {
   auto file = AppendWriter::Open(path);
   if (!file.ok()) {
     return file.status();
   }
   TuningJournalWriter writer;
   writer.writer_ = std::move(*file);
+  writer.options_ = journal_options;
   if (write_header) {
     writer.Append("journal v1 fp=" + FormatU64Hex(fingerprint));
     if (!writer.status_.ok()) {
@@ -208,6 +209,15 @@ void TuningJournalWriter::Append(const std::string& payload) {
   if (status_.ok()) {
     lines.Add();
     bytes.Add(static_cast<int64_t>(framed.size()) + 1);  // +1: newline
+    ++lines_appended_;
+    if (options_.fsync_every_n_lines > 0 &&
+        lines_appended_ % options_.fsync_every_n_lines == 0) {
+      static Counter& fsyncs = MetricsRegistry::Global().counter("journal.fsyncs");
+      status_ = writer_.Sync();
+      if (status_.ok()) {
+        fsyncs.Add();
+      }
+    }
   }
 }
 
@@ -238,10 +248,9 @@ void TuningJournalWriter::OnBatchDone(int spent, double best_us) {
 
 void TuningJournalWriter::OnPhase(const std::string& phase) { Append("phase " + phase); }
 
-StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
-                                                       const sim::Machine& machine,
-                                                       const AltOptions& options,
-                                                       const std::string& journal_path) {
+StatusOr<autotune::CompiledNetwork> CompileWithJournal(
+    const graph::Graph& graph, const sim::Machine& machine, const AltOptions& options,
+    const std::string& journal_path, const TuningJournalOptions& journal_options) {
   const uint64_t fingerprint = TuningFingerprint(graph, machine, options);
   TuningJournalContents contents;
   if (FileExists(journal_path)) {
@@ -267,7 +276,8 @@ StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph
   }
 
   auto writer_or = TuningJournalWriter::Open(journal_path, fingerprint,
-                                             /*write_header=*/!contents.has_header);
+                                             /*write_header=*/!contents.has_header,
+                                             journal_options);
   if (!writer_or.ok()) {
     return writer_or.status();
   }
@@ -280,14 +290,20 @@ StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph
                   << contents.replay.size() << " journaled measurement(s)";
   }
   tuning.event_sink = &writer;
-  autotune::JointTuner tuner(graph, machine, tuning);
-  auto result = tuner.Tune();
+  auto result = RunTuner(graph, machine, options, std::move(tuning));
   if (!writer.status().ok()) {
     // The run itself is fine; only its crash insurance is gone.
     ALT_LOG(Warning) << "tuning journal " << journal_path
                      << " stopped recording: " << writer.status().message();
   }
   return result;
+}
+
+StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
+                                                       const sim::Machine& machine,
+                                                       const AltOptions& options,
+                                                       const std::string& journal_path) {
+  return CompileWithJournal(graph, machine, options, journal_path, TuningJournalOptions{});
 }
 
 StatusOr<autotune::CompiledNetwork> ResumeFromJournal(const graph::Graph& graph,

@@ -68,7 +68,11 @@ struct TuningJournalContents {
 // graph structure, the machine, and every trajectory-affecting option.
 // Deliberately EXCLUDES measure.threads — the engine reduces measurements in
 // candidate order, so any thread count replays the same trajectory and a
-// journal written with 8 threads may be resumed with 1.
+// journal written with 8 threads may be resumed with 1. The isolation knobs
+// (measure.isolate / workers / deadline_ms) and the tuning-database path are
+// excluded for the same reason: the isolated path is trajectory-identical to
+// in-process measurement, and database hits use replay semantics, so flipping
+// them between runs cannot change what the journal would record.
 uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machine,
                            const AltOptions& options);
 
@@ -77,6 +81,16 @@ uint64_t TuningFingerprint(const graph::Graph& graph, const sim::Machine& machin
 // reported in `discarded_bytes`, never an error. Only a missing/unreadable
 // file is an error.
 StatusOr<TuningJournalContents> LoadTuningJournal(const std::string& path);
+
+// Durability knobs for the journal writer.
+struct TuningJournalOptions {
+  // Every Nth appended line is forced to stable storage (fflush + fsync).
+  // AppendLine alone flushes to the kernel, which survives a crash of this
+  // process but not a power loss. <= 0 (default) never fsyncs — the right
+  // tradeoff for tuning runs, where losing the tail costs only re-measuring
+  // it. Sync failures are sticky like write failures.
+  int fsync_every_n_lines = 0;
+};
 
 // TuningEventSink that appends journal lines. Write errors (disk full, file
 // deleted) are sticky and silent: the first failure is recorded in status()
@@ -88,7 +102,8 @@ class TuningJournalWriter : public autotune::TuningEventSink {
   // line carrying `fingerprint` is written immediately (pass false when
   // appending to a journal that already has one).
   static StatusOr<TuningJournalWriter> Open(const std::string& path, uint64_t fingerprint,
-                                            bool write_header);
+                                            bool write_header,
+                                            const TuningJournalOptions& journal_options = {});
 
   void OnMeasured(const std::string& key, const autotune::MeasureResult& result) override;
   void OnLayoutCommitted(int op_id, const autotune::DecodedLayouts& layouts,
@@ -106,6 +121,8 @@ class TuningJournalWriter : public autotune::TuningEventSink {
 
   AppendWriter writer_;
   Status status_ = Status::Ok();
+  TuningJournalOptions options_;
+  int64_t lines_appended_ = 0;
 };
 
 // Compiles `graph`, journaling every fresh measurement to `journal_path`.
@@ -117,6 +134,11 @@ class TuningJournalWriter : public autotune::TuningEventSink {
 //     an uninterrupted run. A torn/corrupt tail is truncated away first.
 //   * A journal for a DIFFERENT fingerprint: InvalidArgument — resuming a
 //     different workload's journal would silently corrupt the search.
+StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
+                                                       const sim::Machine& machine,
+                                                       const AltOptions& options,
+                                                       const std::string& journal_path,
+                                                       const TuningJournalOptions& journal_options);
 StatusOr<autotune::CompiledNetwork> CompileWithJournal(const graph::Graph& graph,
                                                        const sim::Machine& machine,
                                                        const AltOptions& options,

@@ -29,6 +29,11 @@ struct Pending {
   std::promise<Response> promise;
   Clock::time_point enqueued;
   Clock::time_point deadline;
+  // Shed deadline: a request still QUEUED at this point is failed with
+  // kDeadlineExceeded instead of claimed (Server::SubmitOptions::deadline_us).
+  // Unset when the caller gave no deadline.
+  bool has_shed_deadline = false;
+  Clock::time_point shed_deadline;
 };
 
 // A registered model: the hot-swappable session plus its own FIFO queue.
@@ -70,6 +75,7 @@ struct Server::Impl {
   Counter& failed = MetricsRegistry::Global().counter("serving.failed");
   Counter& batches = MetricsRegistry::Global().counter("serving.batches");
   Counter& swaps = MetricsRegistry::Global().counter("serving.swaps");
+  Counter& deadline_rejected = MetricsRegistry::Global().counter("serving.deadline_rejected");
   Gauge& queue_depth = MetricsRegistry::Global().gauge("serving.queue_depth");
   Gauge& model_count = MetricsRegistry::Global().gauge("serving.models");
   Histogram& batch_size = MetricsRegistry::Global().histogram("serving.batch_size");
@@ -153,17 +159,27 @@ struct Server::Impl {
         continue;
       }
 
-      // Claim up to one policy batch from this model's queue.
+      // Claim up to one policy batch from this model's queue. Requests that
+      // outlived their per-request submit deadline are shed here — they fail
+      // fast with kDeadlineExceeded instead of occupying a batch slot.
       std::vector<Pending> batch;
-      const int take = std::min<int>(options.policy.max_batch_size,
-                                     static_cast<int>(ready->queue.size()));
-      batch.reserve(take);
-      for (int i = 0; i < take; ++i) {
-        batch.push_back(std::move(ready->queue.front()));
+      std::vector<std::promise<Response>> shed;
+      const Clock::time_point claim_now = Clock::now();
+      int popped = 0;
+      while (!ready->queue.empty() &&
+             static_cast<int>(batch.size()) < options.policy.max_batch_size) {
+        Pending p = std::move(ready->queue.front());
         ready->queue.pop_front();
+        ++popped;
+        if (p.has_shed_deadline && claim_now > p.shed_deadline) {
+          deadline_rejected.Add();
+          shed.push_back(std::move(p.promise));
+          continue;
+        }
+        batch.push_back(std::move(p));
       }
-      queued -= take;
-      queue_depth.Add(-take);
+      queued -= popped;
+      queue_depth.Add(-popped);
       // Another model (or the rest of this queue) may be ready too — hand it
       // to a sibling worker while this one executes.
       if (FindReadyModel(Clock::now()) != nullptr) {
@@ -173,9 +189,18 @@ struct Server::Impl {
       Histogram* request_us = ready->request_us;
       lock.unlock();
 
+      for (auto& promise : shed) {
+        promise.set_value(
+            Status::DeadlineExceeded("request deadline elapsed before a worker claimed it"));
+      }
+      if (batch.empty()) {  // everything claimed this round was shed
+        lock.lock();
+        continue;
+      }
+
       TraceSpan batch_span("serving.batch");
       const Clock::time_point run_start = Clock::now();
-      batch_size.Observe(static_cast<double>(take));
+      batch_size.Observe(static_cast<double>(batch.size()));
       for (const Pending& p : batch) {
         queue_wait_us.Observe(static_cast<double>(MicrosBetween(p.enqueued, run_start)));
       }
@@ -279,6 +304,11 @@ Status Server::SwapModel(const std::string& name, const core::LoadedArtifact& ar
 
 std::future<Response> Server::Submit(const std::string& model,
                                      runtime::TensorDataMap request) {
+  return Submit(model, std::move(request), SubmitOptions{});
+}
+
+std::future<Response> Server::Submit(const std::string& model, runtime::TensorDataMap request,
+                                     const SubmitOptions& submit_options) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   const Clock::time_point now = Clock::now();
@@ -311,6 +341,10 @@ std::future<Response> Server::Submit(const std::string& model,
   pending.enqueued = now;
   pending.deadline =
       now + std::chrono::microseconds(impl_->options.policy.max_delay_us);
+  if (submit_options.deadline_us > 0) {
+    pending.has_shed_deadline = true;
+    pending.shed_deadline = now + std::chrono::microseconds(submit_options.deadline_us);
+  }
   m.queue.push_back(std::move(pending));
   ++impl_->queued;
   impl_->queue_depth.Add(1);

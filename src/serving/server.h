@@ -101,11 +101,23 @@ class Server {
                    const loop::LoweredNetwork& net);
   Status SwapModel(const std::string& name, const core::LoadedArtifact& artifact);
 
+  // Per-request knobs for Submit.
+  struct SubmitOptions {
+    // When > 0, the request must be CLAIMED by a worker within this many
+    // microseconds of submission; a request still queued past its deadline
+    // is shed with kDeadlineExceeded instead of occupying a batch slot
+    // (counted in serving.deadline_rejected). 0 disables the deadline.
+    // Execution time is not bounded — a claimed request always runs.
+    int64_t deadline_us = 0;
+  };
+
   // Enqueues one request; the future resolves when its batch ran (or
   // immediately with NotFound / Unavailable when the model is unknown, the
   // queue is full, or the server is shutting down). Never blocks on
   // execution.
   std::future<Response> Submit(const std::string& model, runtime::TensorDataMap request);
+  std::future<Response> Submit(const std::string& model, runtime::TensorDataMap request,
+                               const SubmitOptions& submit_options);
 
   // Submit + wait: the blocking convenience used by tests and the CLI.
   Response Infer(const std::string& model, runtime::TensorDataMap request);

@@ -98,6 +98,16 @@ Status AppendWriter::AppendLine(std::string_view line) {
   return Status::Ok();
 }
 
+Status AppendWriter::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("append writer is closed");
+  }
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Status::Internal(std::string("fsync failed: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 void AppendWriter::Close() {
   if (file_ != nullptr) {
     std::fclose(file_);

@@ -46,6 +46,12 @@ class AppendWriter {
 
   Status AppendLine(std::string_view line);
 
+  // Forces appended lines to stable storage (fflush + fsync). AppendLine only
+  // flushes to the kernel, which survives a crash of this process but not a
+  // power loss; callers with durability requirements sync at their own cadence
+  // (see core::TuningJournalOptions::fsync_every_n_lines).
+  Status Sync();
+
   bool is_open() const { return file_ != nullptr; }
   void Close();
 

@@ -27,6 +27,10 @@ enum class StatusCode {
   // real measurement-backend failure). Callers with a retry policy treat
   // only this code as retryable.
   kUnavailable,
+  // The caller's deadline elapsed before the operation ran (e.g. a serving
+  // request whose queue wait exceeded its SLO). Retrying immediately would
+  // just miss again; shed instead.
+  kDeadlineExceeded,
 };
 
 // Plain value-type status: a code plus a human-readable message.
@@ -49,6 +53,9 @@ class Status {
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,211 @@
+#include "src/support/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/support/crc32.h"
+
+namespace alt {
+
+namespace {
+
+// Upper bound on a frame payload. Worker replies are a few hundred bytes at
+// most; a length field beyond this is corruption (or a desynchronized
+// stream), never a legitimate frame.
+constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+void PutU32Le(uint32_t v, char* out) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+uint32_t GetU32Le(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+// Reads exactly `n` bytes into `buf`, honouring an absolute deadline
+// (`deadline_ms_abs` < 0: block forever). `*got` reports bytes read so far so
+// the caller can distinguish clean EOF from a torn frame.
+FrameReadResult ReadExact(int fd, char* buf, size_t n, int64_t deadline_ms_abs, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    if (deadline_ms_abs >= 0) {
+      int64_t remaining = deadline_ms_abs - NowMs();
+      if (remaining < 0) {
+        remaining = 0;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return FrameReadResult::kError;
+      }
+      if (pr == 0) {
+        return FrameReadResult::kTimeout;
+      }
+    }
+    ssize_t r = ::read(fd, buf + *got, n - *got);
+    if (r == 0) {
+      return FrameReadResult::kEof;
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return FrameReadResult::kError;
+    }
+    *got += static_cast<size_t>(r);
+  }
+  return FrameReadResult::kOk;
+}
+
+}  // namespace
+
+StatusOr<ChildProcess> SpawnChild(const std::function<int(int request_fd, int reply_fd)>& body,
+                                  const std::vector<int>& close_in_child) {
+  int request[2];  // parent writes [1], child reads [0]
+  int reply[2];    // child writes [1], parent reads [0]
+  if (::pipe(request) != 0) {
+    return Status::Internal(std::string("pipe failed: ") + std::strerror(errno));
+  }
+  if (::pipe(reply) != 0) {
+    int err = errno;
+    ::close(request[0]);
+    ::close(request[1]);
+    return Status::Internal(std::string("pipe failed: ") + std::strerror(err));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    int err = errno;
+    ::close(request[0]);
+    ::close(request[1]);
+    ::close(reply[0]);
+    ::close(reply[1]);
+    return Status::Internal(std::string("fork failed: ") + std::strerror(err));
+  }
+  if (pid == 0) {
+    // Child. Drop the parent-side pipe ends and every sibling fd we were told
+    // about, so a sibling's EOF is observable the moment it dies.
+    ::close(request[1]);
+    ::close(reply[0]);
+    for (int fd : close_in_child) {
+      if (fd >= 0 && fd != request[0] && fd != reply[1]) {
+        ::close(fd);
+      }
+    }
+    int rc = 1;
+    try {
+      rc = body(request[0], reply[1]);
+    } catch (...) {
+      rc = 1;
+    }
+    ::_exit(rc);
+  }
+  // Parent.
+  ::close(request[0]);
+  ::close(reply[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.read_fd = reply[0];
+  child.write_fd = request[1];
+  return child;
+}
+
+void KillChild(ChildProcess* child) {
+  if (child == nullptr) {
+    return;
+  }
+  if (child->pid > 0) {
+    ::kill(child->pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(child->pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    child->pid = -1;
+  }
+  if (child->read_fd >= 0) {
+    ::close(child->read_fd);
+    child->read_fd = -1;
+  }
+  if (child->write_fd >= 0) {
+    ::close(child->write_fd);
+    child->write_fd = -1;
+  }
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out(8 + payload.size(), '\0');
+  PutU32Le(static_cast<uint32_t>(payload.size()), &out[0]);
+  PutU32Le(Crc32(payload), &out[4]);
+  std::memcpy(&out[8], payload.data(), payload.size());
+  return out;
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(std::string("pipe write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  // One write(2) per frame: at worker-protocol sizes (< PIPE_BUF) the kernel
+  // delivers it atomically, so a reader that polls readable sees whole frames.
+  return WriteAll(fd, EncodeFrame(payload));
+}
+
+FrameReadResult ReadFrame(int fd, std::string* payload, int deadline_ms) {
+  const int64_t deadline_abs = deadline_ms < 0 ? -1 : NowMs() + deadline_ms;
+  char header[8];
+  size_t got = 0;
+  FrameReadResult r = ReadExact(fd, header, sizeof(header), deadline_abs, &got);
+  if (r != FrameReadResult::kOk) {
+    // EOF after a partial header is a torn frame, not a clean close.
+    return (r == FrameReadResult::kEof && got > 0) ? FrameReadResult::kCorrupt : r;
+  }
+  const uint32_t len = GetU32Le(header);
+  const uint32_t crc = GetU32Le(header + 4);
+  if (len > kMaxFramePayload) {
+    return FrameReadResult::kCorrupt;
+  }
+  payload->assign(len, '\0');
+  if (len > 0) {
+    r = ReadExact(fd, payload->data(), len, deadline_abs, &got);
+    if (r != FrameReadResult::kOk) {
+      return r == FrameReadResult::kEof ? FrameReadResult::kCorrupt : r;
+    }
+  }
+  if (Crc32(*payload) != crc) {
+    return FrameReadResult::kCorrupt;
+  }
+  return FrameReadResult::kOk;
+}
+
+}  // namespace alt

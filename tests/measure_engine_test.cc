@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/autotune/measure.h"
 #include "src/autotune/tuner.h"
 #include "src/core/alt.h"
 #include "src/graph/networks.h"
 #include "src/loop/serialization.h"
 #include "src/support/crc32.h"
+#include "src/support/metrics.h"
 
 namespace alt {
 namespace {
@@ -368,12 +371,12 @@ TEST(MeasureEngine, ReplayedFailureQuarantines) {
 }
 
 // Every batch must account for every requested candidate exactly once:
-// requested == measured + cache_hits + failed + replayed.
+// requested == measured + cache_hits + failed + replayed + db_hits.
 void ExpectStatsInvariant(const autotune::MeasureStats& s) {
-  EXPECT_EQ(s.requested, s.measured + s.cache_hits + s.failed + s.replayed)
+  EXPECT_EQ(s.requested, s.measured + s.cache_hits + s.failed + s.replayed + s.db_hits)
       << "requested=" << s.requested << " measured=" << s.measured
       << " cache_hits=" << s.cache_hits << " failed=" << s.failed
-      << " replayed=" << s.replayed;
+      << " replayed=" << s.replayed << " db_hits=" << s.db_hits;
 }
 
 TEST(MeasureEngine, StatsInvariantHoldsAcrossConfigurations) {
@@ -457,6 +460,50 @@ TEST(MeasureEngine, MetricsSnapshotMirrorsMeasureStats) {
   const HistogramSnapshot* candidate = m.histogram("measure.candidate_us");
   ASSERT_NE(candidate, nullptr);
   EXPECT_EQ(candidate->count, s.measured);
+}
+
+TEST(MeasureEngine, QuarantineIsCappedAndEvictsOldest) {
+  // An adversarial run can fail an unbounded stream of distinct candidates;
+  // RetryPolicy::max_quarantine keeps the blocklist from growing without
+  // bound by evicting the OLDEST entry — recency beats history for a
+  // blocklist whose purpose is "don't retry what just burned us".
+  Candidate c = MakeCandidate();
+  const auto& machine = sim::Machine::IntelCpu();
+  auto sig = loop::GroupSignature(c.g, c.la, c.group);
+  ASSERT_TRUE(sig.ok());
+  auto space = autotune::LoopSpace::ForSignature(*sig, machine, false);
+  Rng rng(31);
+  std::vector<loop::LoopSchedule> scheds;
+  std::set<std::string> unique;
+  while (scheds.size() < 10) {
+    auto s = space.Decode(autotune::RandomPoint(space.num_knobs(), rng));
+    if (unique.insert(loop::EncodeSchedule(s)).second) {
+      scheds.push_back(s);
+    }
+  }
+
+  autotune::MeasureEngineConfig config;
+  config.threads = 1;
+  config.faults.always_fail_first = 100;  // every candidate fails persistently
+  config.retry.max_attempts = 1;
+  config.retry.max_quarantine = 4;
+  autotune::MeasureEngine engine(machine, config);
+
+  for (const auto& s : scheds) {
+    auto r = engine.MeasureOne(c.g, c.la, c.group, s);
+    EXPECT_FALSE(r.status.ok());
+  }
+  EXPECT_EQ(engine.stats().quarantined, 10);  // all were quarantined at some point
+  EXPECT_EQ(engine.quarantine_size(), 4);     // only the newest 4 are still held
+  EXPECT_EQ(MetricsRegistry::Global().gauge("measure.quarantine_size").value(), 4);
+
+  // The oldest entry was evicted: measuring schedule 0 again RE-ATTEMPTS it
+  // (and re-quarantines, evicting again) while the newest short-circuits.
+  auto oldest = engine.MeasureOne(c.g, c.la, c.group, scheds[0]);
+  EXPECT_EQ(oldest.attempts, 1);
+  auto newest = engine.MeasureOne(c.g, c.la, c.group, scheds[9]);
+  EXPECT_EQ(newest.attempts, 0);  // still quarantined: zero budget spent
+  EXPECT_EQ(engine.quarantine_size(), 4);
 }
 
 }  // namespace

@@ -370,5 +370,44 @@ TEST(Server, MetricsExposeQueueDepthGaugeAndPerModelLatency) {
   EXPECT_EQ(waits->count, 4);
 }
 
+TEST(Server, ExpiredDeadlineShedsBeforeExecution) {
+  Workload w;
+  ServerOptions options;
+  options.policy.max_batch_size = 64;     // never fills: only the timer dispatches
+  options.policy.max_delay_us = 200'000;  // requests sit queued for 200ms
+  Server server(options);
+  ASSERT_TRUE(server.AddModel("m", w.g, w.la, w.net).ok());
+
+  // Deadlines far shorter than the dispatch timer: by the time a worker
+  // claims these, they are already dead — shed with kDeadlineExceeded, no
+  // batch slot spent.
+  Server::SubmitOptions tight;
+  tight.deadline_us = 1000;
+  std::vector<std::future<Response>> doomed;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    doomed.push_back(server.Submit("m", MakeRequest(w.g, seed), tight));
+  }
+  for (auto& f : doomed) {
+    auto out = f.get();
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded)
+        << out.status().ToString();
+  }
+  MetricsSnapshot metrics = server.Metrics();
+  EXPECT_EQ(metrics.counter("serving.deadline_rejected"), 3);
+  EXPECT_EQ(metrics.counter("serving.completed"), 0);
+
+  // A generous deadline — and no deadline at all — serve exactly as before.
+  Server::SubmitOptions generous;
+  generous.deadline_us = 60'000'000;
+  auto relaxed = server.Submit("m", MakeRequest(w.g, 4), generous).get();
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  EXPECT_EQ(*relaxed, w.Expected(4));
+  auto plain = server.Infer("m", MakeRequest(w.g, 5));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*plain, w.Expected(5));
+  EXPECT_EQ(server.Metrics().counter("serving.deadline_rejected"), 3);
+}
+
 }  // namespace
 }  // namespace alt::serving

@@ -12,6 +12,7 @@
 #include "src/graph/networks.h"
 #include "src/loop/serialization.h"
 #include "src/support/fileio.h"
+#include "src/support/metrics.h"
 
 namespace alt {
 namespace {
@@ -319,6 +320,37 @@ TEST(TuningJournal, FaultInjectedKillAndResume) {
   auto resumed = core::CompileWithJournal(g, machine, options, crashed_path);
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   ExpectIdenticalResults(*full_run, *resumed);
+}
+
+TEST(TuningJournal, FsyncCadenceIsHonoredAndInvisible) {
+  // With fsync_every_n_lines set, every Nth append is forced to stable
+  // storage (journal.fsyncs counts them); the journal contents — and the
+  // compilation result — are byte-for-byte what the no-fsync writer produces.
+  graph::Graph g = SmallConvGraph();
+  const auto& machine = sim::Machine::IntelCpu();
+  core::AltOptions options = BaseOptions();
+
+  std::string plain_path = TempPath("journal_nofsync.altj");
+  auto plain = core::CompileWithJournal(g, machine, options, plain_path);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  const int64_t fsyncs_before =
+      MetricsRegistry::Global().Snapshot().counter("journal.fsyncs");
+  std::string synced_path = TempPath("journal_fsync.altj");
+  core::TuningJournalOptions journal_options;
+  journal_options.fsync_every_n_lines = 8;
+  auto synced = core::CompileWithJournal(g, machine, options, synced_path, journal_options);
+  ASSERT_TRUE(synced.ok()) << synced.status().ToString();
+  const int64_t fsyncs_after =
+      MetricsRegistry::Global().Snapshot().counter("journal.fsyncs");
+  EXPECT_GT(fsyncs_after, fsyncs_before);
+  ExpectIdenticalResults(*plain, *synced);
+
+  auto plain_bytes = ReadFile(plain_path);
+  auto synced_bytes = ReadFile(synced_path);
+  ASSERT_TRUE(plain_bytes.ok());
+  ASSERT_TRUE(synced_bytes.ok());
+  EXPECT_EQ(*plain_bytes, *synced_bytes);
 }
 
 }  // namespace
