@@ -1,15 +1,20 @@
-// Interpreter throughput: affine execution engine vs the generic tree-walking
-// fallback on conv2d and GMM programs under several layouts (including the
-// pad-guard and unfold templates that stress guard splitting and the bytecode
-// fallback).
+// Interpreter throughput: a three-way race — generic tree walk, affine
+// engine, and the JIT-compiled native backend — on conv2d and GMM programs
+// under several layouts (including the pad-guard and unfold templates that
+// stress guard splitting and the bytecode fallback).
 //
 //   ./build/bench/bench_interpreter_throughput
 //
-// For every configuration the two engines are first checked to produce
+// For every configuration the three engines are first checked to produce
 // bit-identical buffers, then timed over repeated runs. Work is counted in
 // innermost store executions (ir::CountStoreExecutions), so elements/s is
 // comparable across layouts of the same workload. With ALT_TRACE_DIR set the
 // per-config throughput is also written as a JSON metrics artifact for CI.
+//
+// Gates: affine must hold a 2x geomean over generic, and native must not
+// slip below affine (geomean >= 1x) — unless the host has no toolchain
+// (codegen.fallback_programs > 0), in which case the native gate is skipped
+// because "native" silently served through the affine engine.
 
 #include <chrono>
 #include <cmath>
@@ -21,6 +26,7 @@
 #include "bench/harness.h"
 #include "src/autotune/layout_templates.h"
 #include "src/runtime/session.h"
+#include "src/support/metrics.h"
 
 namespace alt {
 
@@ -165,7 +171,9 @@ struct ConfigResult {
   std::string name;
   double affine_eps = 0.0;   // elements (store executions) per second
   double generic_eps = 0.0;
-  double speedup = 0.0;
+  double native_eps = 0.0;
+  double speedup = 0.0;            // affine vs generic
+  double native_vs_affine = 0.0;
   bench::SampleStats affine_stats;  // per-run elements/s samples
 };
 
@@ -203,17 +211,21 @@ double RunOnce(const loop::LoweredNetwork& net, runtime::BufferStore& store,
 
 int Main() {
   bench::PrintHeader(
-      "Interpreter throughput: affine engine vs generic tree walk "
-      "(elements = innermost store executions)");
+      "Interpreter throughput: generic tree walk vs affine engine vs native "
+      "JIT (elements = innermost store executions)");
 
   runtime::ExecOptions affine;
   affine.engine = runtime::ExecEngine::kAffine;
   runtime::ExecOptions generic;
   generic.engine = runtime::ExecEngine::kGeneric;
+  runtime::ExecOptions native;
+  native.engine = runtime::ExecEngine::kNative;
+  const int64_t fallback_before =
+      MetricsRegistry::Global().Snapshot().counter("codegen.fallback_programs");
 
   std::vector<ConfigResult> results;
-  std::printf("%-22s %14s %14s %9s\n", "config", "affine_el/s", "generic_el/s",
-              "speedup");
+  std::printf("%-22s %14s %14s %14s %9s %9s\n", "config", "affine_el/s",
+              "generic_el/s", "native_el/s", "aff/gen", "nat/aff");
   for (auto& cfg : BuildConfigs()) {
     auto net = Lower(cfg.g, cfg.la);
     if (!net.ok()) {
@@ -226,21 +238,28 @@ int Main() {
       elems += ir::CountStoreExecutions(program.root);
     }
 
-    // Correctness gate: both engines must produce bit-identical buffers.
-    runtime::BufferStore fast, slow;
+    // Correctness gate: all three engines must produce bit-identical
+    // buffers. (These runs also warm the kernel cache, so the timed native
+    // runs below never pay a compile.)
+    runtime::BufferStore fast, slow, jitted;
     if (!SeedStore(cfg.g, cfg.la, fast, 7).ok() ||
-        !SeedStore(cfg.g, cfg.la, slow, 7).ok()) {
+        !SeedStore(cfg.g, cfg.la, slow, 7).ok() ||
+        !SeedStore(cfg.g, cfg.la, jitted, 7).ok()) {
       std::fprintf(stderr, "%s: input physicalization failed\n", cfg.name.c_str());
       return 1;
     }
     RunOnce(*net, fast, affine);
     RunOnce(*net, slow, generic);
+    RunOnce(*net, jitted, native);
     for (const auto& program : net->programs) {
       for (const auto& decl : program.buffers) {
         const auto* a = fast.Find(decl.tensor.id);
         const auto* b = slow.Find(decl.tensor.id);
-        if (a == nullptr || b == nullptr || a->size() != b->size() ||
-            std::memcmp(a->data(), b->data(), a->size() * sizeof(float)) != 0) {
+        const auto* n = jitted.Find(decl.tensor.id);
+        if (a == nullptr || b == nullptr || n == nullptr || a->size() != b->size() ||
+            a->size() != n->size() ||
+            std::memcmp(a->data(), b->data(), a->size() * sizeof(float)) != 0 ||
+            std::memcmp(a->data(), n->data(), a->size() * sizeof(float)) != 0) {
           std::fprintf(stderr, "%s: BIT-IDENTITY VIOLATION on tensor %s\n",
                        cfg.name.c_str(), decl.tensor.name.c_str());
           return 1;
@@ -254,6 +273,10 @@ int Main() {
     for (int r = 0; r < kAffineReps; ++r) {
       affine_eps.push_back(static_cast<double>(elems) / RunOnce(*net, fast, affine));
     }
+    std::vector<double> native_eps;
+    for (int r = 0; r < kAffineReps; ++r) {
+      native_eps.push_back(static_cast<double>(elems) / RunOnce(*net, jitted, native));
+    }
     double generic_total = 0.0;
     for (int r = 0; r < kGenericReps; ++r) {
       generic_total += RunOnce(*net, slow, generic);
@@ -263,19 +286,31 @@ int Main() {
     res.name = cfg.name;
     res.affine_stats = bench::Summarize(affine_eps);
     res.affine_eps = res.affine_stats.p50;
+    res.native_eps = bench::Summarize(native_eps).p50;
     res.generic_eps = static_cast<double>(elems) * kGenericReps / generic_total;
     res.speedup = res.affine_eps / res.generic_eps;
-    std::printf("%-22s %14.3e %14.3e %8.2fx\n", res.name.c_str(), res.affine_eps,
-                res.generic_eps, res.speedup);
+    res.native_vs_affine = res.native_eps / res.affine_eps;
+    std::printf("%-22s %14.3e %14.3e %14.3e %8.2fx %8.2fx\n", res.name.c_str(),
+                res.affine_eps, res.generic_eps, res.native_eps, res.speedup,
+                res.native_vs_affine);
     results.push_back(std::move(res));
   }
 
   double log_sum = 0.0;
+  double native_log_sum = 0.0;
   for (const auto& r : results) {
     log_sum += std::log(r.speedup);
+    native_log_sum += std::log(r.native_vs_affine);
   }
   double geomean = results.empty() ? 0.0 : std::exp(log_sum / results.size());
+  double native_geomean =
+      results.empty() ? 0.0 : std::exp(native_log_sum / results.size());
+  const int64_t native_fallbacks =
+      MetricsRegistry::Global().Snapshot().counter("codegen.fallback_programs") -
+      fallback_before;
   std::printf("\ngeomean speedup (affine vs generic): %.2fx\n", geomean);
+  std::printf("geomean speedup (native vs affine): %.2fx (%lld fallback programs)\n",
+              native_geomean, static_cast<long long>(native_fallbacks));
   for (const auto& r : results) {
     std::printf("  %-22s p50=%.3e p95=%.3e min=%.3e max=%.3e el/s\n", r.name.c_str(),
                 r.affine_stats.p50, r.affine_stats.p95, r.affine_stats.min,
@@ -287,16 +322,22 @@ int Main() {
     std::string json = "{\n  \"interpreter_throughput\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
-      char buf[256];
+      char buf[384];
       std::snprintf(buf, sizeof(buf),
                     "    {\"config\": \"%s\", \"elements_per_s\": %.6e, "
-                    "\"generic_elements_per_s\": %.6e, \"speedup\": %.3f}%s\n",
-                    r.name.c_str(), r.affine_eps, r.generic_eps, r.speedup,
-                    i + 1 < results.size() ? "," : "");
+                    "\"generic_elements_per_s\": %.6e, "
+                    "\"native_elements_per_s\": %.6e, \"speedup\": %.3f, "
+                    "\"native_vs_affine\": %.3f}%s\n",
+                    r.name.c_str(), r.affine_eps, r.generic_eps, r.native_eps,
+                    r.speedup, r.native_vs_affine, i + 1 < results.size() ? "," : "");
       json += buf;
     }
-    char tail[64];
-    std::snprintf(tail, sizeof(tail), "  ],\n  \"geomean_speedup\": %.3f\n}\n", geomean);
+    char tail[192];
+    std::snprintf(tail, sizeof(tail),
+                  "  ],\n  \"geomean_speedup\": %.3f,\n"
+                  "  \"native_geomean_vs_affine\": %.3f,\n"
+                  "  \"native_fallback_programs\": %lld\n}\n",
+                  geomean, native_geomean, static_cast<long long>(native_fallbacks));
     json += tail;
     Status ws = WriteFile(trace_dir + "/interpreter_throughput_metrics.json", json);
     if (!ws.ok()) {
@@ -311,6 +352,18 @@ int Main() {
   // regression below 2x end-to-end means the fast path stopped engaging.
   if (geomean < 2.0) {
     std::fprintf(stderr, "THROUGHPUT REGRESSION: geomean %.2fx < 2x\n", geomean);
+    return 1;
+  }
+  // The native backend justifies its complexity by never losing to the
+  // interpreter it replaces. Skipped when any program could not be compiled
+  // (no host toolchain): "native" then timed the affine engine against
+  // itself and the comparison is meaningless.
+  if (native_fallbacks > 0) {
+    std::printf("native gate skipped: %lld programs served without a compiled kernel\n",
+                static_cast<long long>(native_fallbacks));
+  } else if (native_geomean < 1.0) {
+    std::fprintf(stderr, "NATIVE REGRESSION: geomean %.2fx < 1x vs affine\n",
+                 native_geomean);
     return 1;
   }
   return 0;

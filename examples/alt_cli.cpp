@@ -10,7 +10,16 @@
 //
 // Telemetry (alt/alt-ol/alt-wp methods only):
 //   ALT_TRACE=<path>    write a Chrome trace of the run (chrome://tracing)
-//   ALT_METRICS=<path>  write the run's metrics snapshot as JSON
+//   ALT_METRICS=<path>  write the run's metrics snapshot as JSON (also
+//                       honored on the artifact-serving paths, where the
+//                       snapshot carries the codegen.* kernel-cache counters)
+//
+// Execution engine (alt/alt-ol/alt-wp methods only):
+//   --engine auto|affine|generic|native or ALT_ENGINE=<name>
+//     Engine for serving (runtime::ExecEngine). With `native`, tuning+save
+//     embeds the JIT-compiled kernel objects in the artifact and serving
+//     prefers them; a reloaded artifact then serves with zero recompiles
+//     (codegen.compiles stays 0, codegen.cache_hits counts the reuse).
 //
 // Deployment (alt/alt-ol/alt-wp methods only):
 //   --artifact <path> or ALT_ARTIFACT=<path>
@@ -49,6 +58,35 @@
 
 namespace {
 
+bool ParseEngine(const std::string& name, alt::runtime::ExecEngine* out) {
+  if (name == "auto") {
+    *out = alt::runtime::ExecEngine::kAuto;
+  } else if (name == "affine") {
+    *out = alt::runtime::ExecEngine::kAffine;
+  } else if (name == "generic") {
+    *out = alt::runtime::ExecEngine::kGeneric;
+  } else if (name == "native") {
+    *out = alt::runtime::ExecEngine::kNative;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ALT_METRICS honored on the serving paths too: the process-global snapshot
+// carries the codegen.* counters CI uses to assert zero recompiles on reload.
+void MaybeWriteGlobalMetrics() {
+  if (const char* metrics_path = std::getenv("ALT_METRICS")) {
+    alt::Status ws =
+        alt::WriteFile(metrics_path, alt::MetricsRegistry::Global().Snapshot().ToJson());
+    if (!ws.ok()) {
+      std::fprintf(stderr, "metrics snapshot not written: %s\n", ws.ToString().c_str());
+    } else {
+      std::printf("metrics snapshot written to %s\n", metrics_path);
+    }
+  }
+}
+
 alt::graph::Graph BuildNetwork(const std::string& name) {
   if (name == "r18") {
     return alt::graph::BuildResNet18(1);
@@ -77,17 +115,21 @@ alt::graph::Graph BuildNetwork(const std::string& name) {
 
 // Serves one randomly-filled request through an InferenceSession built from
 // a loaded artifact and prints what ran.
-int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded) {
+int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded,
+                        alt::runtime::ExecEngine engine) {
   using namespace alt;
   const autotune::CompiledNetwork& net = loaded.network;
   std::printf("loaded artifact: graph %s, tuned for %s (%s, budget %d, seed %llu, "
-              "%d measurements, best %s)\n",
+              "%d measurements, best %s, %d embedded kernels)\n",
               net.graph.name().c_str(), loaded.info.machine.c_str(),
               core::VariantName(loaded.info.variant), loaded.info.budget,
               static_cast<unsigned long long>(loaded.info.seed),
-              loaded.info.measurements_used, FormatMicros(loaded.info.best_latency_us).c_str());
+              loaded.info.measurements_used, FormatMicros(loaded.info.best_latency_us).c_str(),
+              loaded.info.kernels);
+  runtime::SessionOptions session_options;
+  session_options.exec.engine = engine;
   auto session = runtime::InferenceSession::Create(net.graph, net.assignment,
-                                                   {net.groups, net.programs});
+                                                   {net.groups, net.programs}, session_options);
   if (!session.ok()) {
     std::fprintf(stderr, "session creation failed: %s\n",
                  session.status().ToString().c_str());
@@ -103,15 +145,19 @@ int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded) {
   }
   std::printf("served one request: output tensor %d, %zu elements\n",
               session->output_tensor(), out->size());
+  MaybeWriteGlobalMetrics();
   return 0;
 }
 
 // Serves `count` randomly-filled requests through the dynamic-batching
 // front-end and prints the operator metrics once the traffic drains.
-int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count) {
+int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count,
+                 alt::runtime::ExecEngine engine) {
   using namespace alt;
   const autotune::CompiledNetwork& net = loaded.network;
-  serving::Server server;
+  serving::ServerOptions server_options;
+  server_options.session.exec.engine = engine;
+  serving::Server server(server_options);
   Status added = server.AddModel(net.graph.name(), loaded);
   if (!added.ok()) {
     std::fprintf(stderr, "model registration failed: %s\n", added.ToString().c_str());
@@ -146,6 +192,7 @@ int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count) {
     std::printf("batch size         : mean %.1f  max %.0f\n", batch_size->mean(),
                 batch_size->max);
   }
+  MaybeWriteGlobalMetrics();
   return failed == 0 ? 0 : 1;
 }
 
@@ -156,6 +203,7 @@ int main(int argc, char** argv) {
   std::string artifact_path = std::getenv("ALT_ARTIFACT") ? std::getenv("ALT_ARTIFACT") : "";
   std::string tuning_db_path = std::getenv("ALT_TUNING_DB") ? std::getenv("ALT_TUNING_DB") : "";
   int workers = std::getenv("ALT_WORKERS") ? std::atoi(std::getenv("ALT_WORKERS")) : 0;
+  std::string engine_name = std::getenv("ALT_ENGINE") ? std::getenv("ALT_ENGINE") : "auto";
   int serve_requests = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
@@ -167,9 +215,17 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (std::string(argv[i]) == "--tuning-db" && i + 1 < argc) {
       tuning_db_path = argv[++i];
+    } else if (std::string(argv[i]) == "--engine" && i + 1 < argc) {
+      engine_name = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  runtime::ExecEngine engine = runtime::ExecEngine::kAuto;
+  if (!ParseEngine(engine_name, &engine)) {
+    std::fprintf(stderr, "unknown engine '%s' (auto|affine|generic|native)\n",
+                 engine_name.c_str());
+    return 2;
   }
   std::string net_name = pos.size() > 0 ? pos[0] : "first-layer";
   std::string machine_name = pos.size() > 1 ? pos[1] : "intel-cpu";
@@ -184,9 +240,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (serve_requests > 0) {
-      return ServeTraffic(*loaded, serve_requests);
+      return ServeTraffic(*loaded, serve_requests, engine);
     }
-    return ServeLoadedArtifact(*loaded);
+    return ServeLoadedArtifact(*loaded, engine);
   }
 
   graph::Graph g = BuildNetwork(net_name);
@@ -207,6 +263,7 @@ int main(int argc, char** argv) {
   } else {
     core::AltOptions options;
     options.budget = budget;
+    options.engine = engine;
     if (const char* trace = std::getenv("ALT_TRACE")) {
       options.trace.path = trace;
     }

@@ -11,6 +11,7 @@
 #include "src/loop/serialization.h"
 #include "src/support/crc32.h"
 #include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
 namespace alt::autotune {
@@ -18,11 +19,7 @@ namespace alt::autotune {
 namespace {
 
 int ResolveThreads(int threads) {
-  if (threads > 0) {
-    return threads;
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return threads > 0 ? threads : HardwareThreads();
 }
 
 void AppendOpKey(const graph::Graph& g, const graph::LayoutAssignment& la, int op_id,

@@ -1,0 +1,80 @@
+// Process-global cache of compiled native kernels.
+//
+// Keyed by KeyForStructure(ir::ProgramStructureKey(program)) — a salted
+// 64-bit FNV-1a of the normalized program structure plus the codegen
+// version. Equal keys mean structurally identical programs, which build
+// byte-identical KernelSpecs and therefore byte-identical generated source
+// (kernel_spec.h), so one compiled object serves every session, prepared
+// program, and hot-swapped model that shares the structure. Compile results
+// are cached both ways: successes as loaded kernels, failures as their
+// Status, so a missing host compiler costs one shell-out per structure, not
+// one per Prepare.
+//
+// RegisterObject is the artifact path: a loaded artifact re-registers its
+// embedded .so bytes under their saved keys, and the next Prepare hits the
+// cache instead of recompiling — the "zero recompiles across save/load"
+// contract, observable via the codegen.cache_hits / codegen.compiles
+// counters in the process metrics registry.
+
+#ifndef ALT_CODEGEN_KERNEL_CACHE_H_
+#define ALT_CODEGEN_KERNEL_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/codegen/jit.h"
+#include "src/codegen/kernel_spec.h"
+#include "src/support/status.h"
+
+namespace alt::codegen {
+
+class KernelCache {
+ public:
+  static KernelCache& Global();
+
+  // The cache/artifact key for a program structure key: 16 lowercase hex
+  // chars of Fnv1a64 over "cg<version>|<structure_key>".
+  static std::string KeyForStructure(const std::string& structure_key);
+
+  // Returns the cached kernel for `key`, compiling `spec` on a miss. A
+  // failed compile is remembered and returned as the same Status on every
+  // subsequent call (the caller falls back to the interpreter each time
+  // without paying the shell-out again).
+  StatusOr<std::shared_ptr<NativeKernel>> GetOrCompile(const std::string& key,
+                                                       const KernelSpec& spec);
+
+  // Cached kernel for `key`, or nullptr.
+  std::shared_ptr<NativeKernel> Find(const std::string& key);
+
+  // Installs a precompiled object (artifact load). A key that is already
+  // resident is left untouched — the resident kernel is equivalent by key
+  // construction. Load failures (foreign architecture, corrupt bytes)
+  // return a Status and leave the cache unchanged.
+  Status RegisterObject(const std::string& key, const std::vector<unsigned char>& bytes);
+
+  // The .so bytes for `key` (artifact save). NotFound when the key was never
+  // compiled; the remembered failure Status when its compile failed.
+  StatusOr<std::vector<unsigned char>> ObjectBytes(const std::string& key);
+
+  int64_t size() const;
+
+  // Test hooks: route compiles through a specific toolchain/temp dir, and
+  // drop all cached state (including remembered failures).
+  void SetJitOptionsForTest(const JitOptions& options);
+  void ClearForTest();
+
+ private:
+  KernelCache() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<NativeKernel>> kernels_;
+  std::map<std::string, Status> failures_;
+  JitOptions jit_;
+};
+
+}  // namespace alt::codegen
+
+#endif  // ALT_CODEGEN_KERNEL_CACHE_H_

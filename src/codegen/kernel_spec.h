@@ -1,0 +1,121 @@
+// Structural description of one lowered program's native kernel.
+//
+// A KernelSpec is the affine execution plan (runtime/interpreter.cc) with
+// every raw pointer replaced by an index: buffers become positions in a
+// buffer table the caller passes at invocation time, and per-element
+// fallback leaves become indices into a callback. That substitution makes
+// the spec a pure function of the program's STRUCTURE — two programs with
+// equal `ir::ProgramStructureKey` build byte-identical specs — which is what
+// lets compiled kernels be cached and shared across sessions, artifacts, and
+// hot-swaps (kernel_cache.h).
+//
+// The generated function (cpp_emitter.h) executes the spec with the exact
+// arithmetic of the affine interpreter: the same double→float conversion
+// sequences, the same element order, the same guard-range splitting, and the
+// same segment-endpoint bounds checks. Bit-identity with the interpreter is
+// a contract, not an aspiration — the randomized differential corpus in
+// tests/affine_exec_test.cc enforces it three ways.
+
+#ifndef ALT_CODEGEN_KERNEL_SPEC_H_
+#define ALT_CODEGEN_KERNEL_SPEC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace alt::codegen {
+
+// The generated entry point.
+//   bufs     — float* per spec buffer, in spec order.
+//   env      — loop-variable environment (spec.env_size slots), zeroed by the
+//              caller; maintained by the kernel only when a fallback leaf
+//              needs it.
+//   ctx      — opaque host state threaded through to `fallback`.
+//   fallback — runs fallback leaf `leaf` at the loop state in `env`; returns
+//              0 on success, nonzero to abort the kernel.
+// Returns 0 on success or one of the KernelError codes below.
+using KernelFn = int64_t (*)(float** bufs, int64_t* env, void* ctx,
+                             int64_t (*fallback)(void* ctx, int64_t leaf, int64_t* env));
+
+// Nonzero return codes of a generated kernel. Fallback-leaf codes pass
+// through verbatim, so hosts must keep their own codes out of this range.
+enum KernelError : int64_t {
+  kOk = 0,
+  kStoreOutOfBounds = 1,
+  kLoadOutOfBounds = 2,
+  kInternalGuard = 4,  // unsplittable guard reached the native executor
+};
+
+struct KernelSpec {
+  // One affine load/store offset: value(acc) + inner * v, where acc is an
+  // accumulator (base value + per-loop bumps) and v the leaf loop variable.
+  struct Access {
+    int buffer = -1;      // index into the buffer table
+    int64_t size = 0;     // element count, for endpoint bounds checks
+    int acc = -1;         // accumulator id
+    int64_t inner = 0;    // stride along the leaf variable
+  };
+
+  enum class BranchKind {
+    kFill,    // splat an immediate
+    kCopy,    // copy one affine load
+    kMulAcc,  // load*load, load*imm or imm*load
+  };
+
+  struct Branch {
+    BranchKind kind = BranchKind::kFill;
+    double imm = 0.0;  // kFill splat value
+    bool a_is_imm = false, b_is_imm = false;  // kMulAcc operand forms
+    double imm_a = 0.0, imm_b = 0.0;
+    Access a, b;
+  };
+
+  // One ANDed guard along the leaf loop: e(v) = acc + cv * v must satisfy
+  // lo <= e < hi and (when modulus > 1) e ≡ rem (mod modulus).
+  struct Cond {
+    int acc = -1;
+    int64_t cv = 0, lo = 0, hi = 0, modulus = 1, rem = 0;
+  };
+
+  struct Leaf {
+    int64_t extent = 1;  // leaf loop trip count (1 for singleton stores)
+    int vslot = -1;      // env slot of the consumed loop (-1: singleton)
+    // When true the leaf runs through the host callback (non-affine store
+    // offset or a value shape the kernel library doesn't cover).
+    bool fallback = false;
+    // Kernel leaf fields (ignored when fallback).
+    int out_buffer = -1;
+    int64_t out_size = 0;
+    int store_acc = -1;
+    int64_t store_inner = 0;
+    bool accumulate = false;
+    bool guarded = false;
+    std::vector<Cond> conds;
+    Branch then_k, else_k;
+  };
+
+  // Flattened loop program, exactly the interpreter's instruction array.
+  struct Instr {
+    enum Kind { kLoopBegin, kLoopEnd, kLeaf };
+    Kind kind = kLeaf;
+    int slot = -1;       // kLoopBegin: env slot
+    int64_t extent = 0;  // kLoopBegin
+    int match = -1;      // kLoopBegin: index of matching end (and vice versa)
+    int leaf = -1;       // kLeaf: index into `leaves`
+    // kLoopBegin: accumulator bumps per iteration (accumulator id, stride).
+    std::vector<std::pair<int, int64_t>> bumps;
+  };
+
+  int num_buffers = 0;
+  int env_size = 0;
+  // True when any leaf falls back: loops then maintain `env` for the
+  // callback; otherwise env writes are omitted entirely.
+  bool needs_env = false;
+  std::vector<int64_t> acc_init;  // accumulator base values
+  std::vector<Instr> instrs;
+  std::vector<Leaf> leaves;
+};
+
+}  // namespace alt::codegen
+
+#endif  // ALT_CODEGEN_KERNEL_SPEC_H_

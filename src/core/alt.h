@@ -39,6 +39,7 @@
 
 #include "src/autotune/tuner.h"
 #include "src/baselines/baselines.h"
+#include "src/runtime/interpreter.h"
 
 namespace alt::core {
 
@@ -91,6 +92,10 @@ struct AltOptions {
   autotune::SearchMethod method = autotune::SearchMethod::kPpoPretrained;
   bool two_level_templates = false;
   uint64_t seed = 1;
+  // Execution engine for serving the compiled network (runtime/interpreter.h).
+  // kNative additionally makes SaveArtifact embed the JIT-compiled kernel
+  // objects so a loaded artifact serves without recompiling.
+  runtime::ExecEngine engine = runtime::ExecEngine::kAuto;
   MeasureOptions measure;
   FaultOptions fault;
   TraceOptions trace;

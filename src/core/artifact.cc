@@ -1,16 +1,21 @@
 #include "src/core/artifact.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "src/codegen/kernel_cache.h"
 #include "src/loop/serialization.h"
+#include "src/runtime/interpreter.h"
 #include "src/sim/perf_model.h"
 #include "src/support/crc32.h"
 #include "src/support/fileio.h"
+#include "src/support/logging.h"
 #include "src/support/string_util.h"
 
 namespace alt::core {
@@ -100,6 +105,55 @@ const sim::Machine* FindMachineByName(const std::string& name) {
   }
   return nullptr;
 }
+
+// --- kernel section (v2) ------------------------------------------------
+
+// Bytes of object code per kdata line (128 hex characters of payload).
+constexpr size_t kKernelChunkBytes = 64;
+
+std::string EncodeHex(const unsigned char* data, size_t n) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+Status DecodeHexAppend(const std::string& s, std::vector<unsigned char>* out) {
+  if (s.empty() || s.size() % 2 != 0) {
+    return Status::InvalidArgument("bad kdata hex length");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    return -1;
+  };
+  for (size_t i = 0; i < s.size(); i += 2) {
+    int hi = nibble(s[i]);
+    int lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad kdata hex digit");
+    }
+    out->push_back(static_cast<unsigned char>((hi << 4) | lo));
+  }
+  return Status::Ok();
+}
+
+// A kernel record mid-parse: header seen, kdata chunks still arriving.
+struct PendingKernel {
+  std::string key;
+  uint64_t size = 0;
+  uint64_t lines = 0;
+  uint64_t seen_lines = 0;
+  std::vector<unsigned char> bytes;
+};
 
 std::string EncodeIntCsv(const std::vector<int64_t>& v) { return v.empty() ? "-" : Join(v, ","); }
 
@@ -283,8 +337,37 @@ Status SaveArtifact(const autotune::CompiledNetwork& network, const sim::Machine
   std::vector<std::string> graph_lines = GraphSectionLines(network.graph);
   const uint64_t gsig = SignatureOfLines(graph_lines);
 
+  // Collect native kernel objects first: the header version depends on
+  // whether any are embedded. Programs the native engine cannot compile
+  // (non-affine, no toolchain) are simply not embedded — at load time those
+  // programs serve through the interpreter exactly as they would have here.
+  std::vector<std::pair<std::string, std::vector<unsigned char>>> kernels;
+  if (options.engine == runtime::ExecEngine::kNative) {
+    for (const auto& program : network.programs) {
+      auto key = runtime::EnsureNativeKernel(program);
+      if (!key.ok()) {
+        continue;
+      }
+      bool seen = false;
+      for (const auto& [k, b] : kernels) {
+        seen = seen || k == *key;
+      }
+      if (seen) {
+        continue;  // programs with equal structure share one object
+      }
+      auto bytes = codegen::KernelCache::Global().ObjectBytes(*key);
+      if (!bytes.ok()) {
+        ALT_LOG(Warning) << "artifact: not embedding kernel " << *key << ": "
+                         << bytes.status().message();
+        continue;
+      }
+      kernels.emplace_back(*key, std::move(*bytes));
+    }
+  }
+
   std::vector<std::string> payloads;
-  payloads.push_back("altart v1 gsig=" + FormatU64Hex(gsig));
+  payloads.push_back(std::string("altart v") + (kernels.empty() ? "1" : "2") +
+                     " gsig=" + FormatU64Hex(gsig));
   payloads.push_back("machine " + machine.name);
   const double best_us =
       network.history_us.empty() ? std::nan("") : network.history_us.back();
@@ -309,6 +392,15 @@ Status SaveArtifact(const autotune::CompiledNetwork& network, const sim::Machine
     payloads.push_back("group " + std::to_string(network.groups[i].anchor_op) +
                        " fused=" + EncodeIntCsv(fused) + " " +
                        loop::EncodeSchedule(network.schedules[i]));
+  }
+  for (const auto& [key, bytes] : kernels) {
+    const size_t chunks = (bytes.size() + kKernelChunkBytes - 1) / kKernelChunkBytes;
+    payloads.push_back("kernel " + key + " size=" + std::to_string(bytes.size()) +
+                       " lines=" + std::to_string(chunks));
+    for (size_t off = 0; off < bytes.size(); off += kKernelChunkBytes) {
+      payloads.push_back(
+          "kdata " + EncodeHex(bytes.data() + off, std::min(kKernelChunkBytes, bytes.size() - off)));
+    }
   }
   payloads.push_back("end n=" + std::to_string(payloads.size()));
 
@@ -362,9 +454,9 @@ StatusOr<LoadedArtifact> LoadArtifact(const std::string& path) {
   if (!version.ok()) {
     return version.status();
   }
-  if (*version != 1) {
+  if (*version != 1 && *version != 2) {
     return Status::InvalidArgument("unsupported artifact version " + std::to_string(*version) +
-                                   " (this build reads v1)");
+                                   " (this build reads v1 and v2)");
   }
   std::string gsig_field = header.substr(sp + 1);
   if (!ConsumePrefix(gsig_field, "gsig=")) {
@@ -406,9 +498,15 @@ StatusOr<LoadedArtifact> LoadArtifact(const std::string& path) {
   std::vector<std::pair<int, std::string>> layouts;  // tensor id -> encoded seq
   std::vector<loop::FusedGroup> groups;
   std::vector<loop::LoopSchedule> schedules;
+  std::vector<std::pair<std::string, std::vector<unsigned char>>> kernel_objects;
+  std::optional<PendingKernel> pending_kernel;
 
   for (size_t i = 1; i + 1 < payloads.size(); ++i) {
     std::string payload = payloads[i];
+    if (pending_kernel.has_value() && payload.rfind("kdata ", 0) != 0) {
+      return Status::InvalidArgument("artifact corrupt: kernel " + pending_kernel->key +
+                                     " interrupted before its kdata completed");
+    }
     if (ConsumePrefix(payload, "machine ")) {
       if (saw_machine) {
         return Status::InvalidArgument("artifact has multiple machine lines");
@@ -536,9 +634,56 @@ StatusOr<LoadedArtifact> LoadArtifact(const std::string& path) {
       ALT_RETURN_IF_ERROR(loop::ValidateSchedule(sched));
       groups.push_back(std::move(group));
       schedules.push_back(std::move(sched));
+    } else if (*version >= 2 && ConsumePrefix(payload, "kernel ")) {
+      std::vector<std::string> tokens = Split(payload, ' ');
+      if (tokens.size() != 3 || tokens[0].size() != 16 ||
+          tokens[1].rfind("size=", 0) != 0 || tokens[2].rfind("lines=", 0) != 0) {
+        return Status::InvalidArgument("bad kernel line: " + payload);
+      }
+      auto key_check = ParseU64Hex(tokens[0]);
+      auto size = ParseU64Dec(tokens[1].substr(5));
+      auto chunk_lines = ParseU64Dec(tokens[2].substr(6));
+      for (const Status& s : {key_check.status(), size.status(), chunk_lines.status()}) {
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      if (*size == 0 || *chunk_lines == 0) {
+        return Status::InvalidArgument("bad kernel line: empty object: " + payload);
+      }
+      PendingKernel pk;
+      pk.key = tokens[0];
+      pk.size = *size;
+      pk.lines = *chunk_lines;
+      pk.bytes.reserve(*size);
+      pending_kernel = std::move(pk);
+    } else if (*version >= 2 && ConsumePrefix(payload, "kdata ")) {
+      if (!pending_kernel.has_value()) {
+        return Status::InvalidArgument("artifact corrupt: kdata line outside a kernel record");
+      }
+      ALT_RETURN_IF_ERROR(DecodeHexAppend(payload, &pending_kernel->bytes));
+      if (pending_kernel->bytes.size() > pending_kernel->size) {
+        return Status::InvalidArgument("artifact corrupt: kernel " + pending_kernel->key +
+                                       " exceeds its declared size");
+      }
+      if (++pending_kernel->seen_lines == pending_kernel->lines) {
+        if (pending_kernel->bytes.size() != pending_kernel->size) {
+          return Status::InvalidArgument("artifact corrupt: kernel " + pending_kernel->key +
+                                         " declares " + std::to_string(pending_kernel->size) +
+                                         " bytes, carries " +
+                                         std::to_string(pending_kernel->bytes.size()));
+        }
+        kernel_objects.emplace_back(std::move(pending_kernel->key),
+                                    std::move(pending_kernel->bytes));
+        pending_kernel.reset();
+      }
     } else {
       return Status::InvalidArgument("unknown artifact line: " + payloads[i]);
     }
+  }
+  if (pending_kernel.has_value()) {
+    return Status::InvalidArgument("artifact truncated: kernel " + pending_kernel->key +
+                                   " missing kdata lines");
   }
 
   if (!saw_net || !saw_machine || !saw_prov) {
@@ -619,6 +764,21 @@ StatusOr<LoadedArtifact> LoadArtifact(const std::string& path) {
   network.groups = std::move(groups);
   network.schedules = std::move(schedules);
   network.measurements_used = result.info.measurements_used;
+
+  // Deliver embedded kernel objects to the process-wide cache so native-
+  // engine sessions over this network hit without compiling. A load failure
+  // (object from another architecture, dlopen unavailable) is a degraded
+  // environment, not a corrupt artifact: the programs above are the source
+  // of truth and the native engine falls back per program, bit-identically.
+  for (const auto& [key, bytes] : kernel_objects) {
+    Status s = codegen::KernelCache::Global().RegisterObject(key, bytes);
+    if (s.ok()) {
+      ++result.info.kernels;
+    } else {
+      ALT_LOG(Warning) << "artifact: embedded kernel " << key
+                       << " not loadable here: " << s.message();
+    }
+  }
 
   if (const sim::Machine* m = FindMachineByName(result.info.machine)) {
     network.perf = sim::EstimatePrograms(network.programs, *m);

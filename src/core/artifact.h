@@ -22,7 +22,20 @@
 //        scalar=<%.17g> axis=.. name=<rest>
 //   layout <tensor-id> <primitives>   one per assigned layout sequence
 //   group <anchor-id> fused=<csv|-> s=.. r=.. par=.. rot=.. unroll=..
+//   kernel <key-hex16> size=<bytes> lines=<k>   (v2) native kernel object
+//   kdata <hex>                       (v2) one chunk of the object's bytes
 //   end n=<line-count>                trailer; line count excludes itself
+//
+// v2 extends v1 with an optional native-kernel section: the JIT-compiled
+// shared objects (src/codegen) for the network's programs, keyed by the
+// codegen cache key, so a loaded artifact serves under ExecEngine::kNative
+// with zero recompiles. SaveArtifact emits v2 only when kernels are present
+// (options.engine == kNative and the toolchain produced objects); otherwise
+// it writes plain v1. LoadArtifact registers embedded kernels with the
+// process-wide codegen::KernelCache; an object that fails to dlopen (e.g.
+// saved on a different architecture) is skipped with a warning — kernels are
+// an execution *strategy*, the re-lowered programs remain the source of
+// truth and the native engine falls back per program.
 //
 // VERSIONING RULES — the version is bumped when a line's meaning changes;
 // readers reject any version they don't know (unlike the tuning journal,
@@ -59,6 +72,9 @@ struct ArtifactInfo {
   // produced no successful measurement.
   double best_latency_us = 0.0;
   int measurements_used = 0;
+  // Native kernel objects delivered to the codegen::KernelCache by this load
+  // (records whose object was registered or already resident; 0 for v1).
+  int kernels = 0;
 };
 
 struct LoadedArtifact {

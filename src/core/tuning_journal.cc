@@ -12,6 +12,7 @@
 #include "src/support/crc32.h"
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
+#include "src/support/string_util.h"
 #include "src/support/trace.h"
 
 namespace alt::core {
@@ -93,17 +94,24 @@ bool ApplyPayload(const std::string& payload, bool first, TuningJournalContents*
     return true;
   }
   if (ConsumePrefix(&s, "batch spent=")) {
-    char* end = nullptr;
-    long spent = std::strtol(s, &end, 10);
-    if (end == s || !ConsumePrefix(const_cast<const char**>(&end), " best=")) {
+    // Checked parse: a spent count that is non-numeric or does not fit an int
+    // (e.g. a journal damaged into "spent=99999999999999999999") is a corrupt
+    // record, rejected like any other, never silently truncated.
+    const char* sep = std::strstr(s, " best=");
+    if (sep == nullptr) {
       return false;
     }
-    s = end;
+    StatusOr<int> spent = ParseInt32(std::string(s, sep));
+    if (!spent.ok()) {
+      return false;
+    }
+    s = sep + std::strlen(" best=");
+    char* end = nullptr;
     double best = std::strtod(s, &end);
     if (end == s) {
       return false;
     }
-    out->last_spent = static_cast<int>(spent);
+    out->last_spent = *spent;
     out->last_best_us = best;
     ++out->batch_lines;
     return true;

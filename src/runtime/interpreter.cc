@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/codegen/kernel_cache.h"
+#include "src/codegen/kernel_spec.h"
 #include "src/ir/affine.h"
 #include "src/ir/eval.h"
 #include "src/support/metrics.h"
@@ -346,6 +348,9 @@ struct Leaf {
   int vslot = -1;      // env slot of the consumed loop (-1: singleton)
   // Bytecode fallback (non-affine store offset).
   const CompiledStore* bytecode = nullptr;
+  // The generic compiled store this leaf came from; the native engine runs
+  // kEval-shaped leaves through it (env-only, no accumulators needed).
+  const CompiledStore* generic = nullptr;
   // Kernel leaf.
   float* out = nullptr;
   int64_t out_size = 0;
@@ -564,6 +569,7 @@ struct AffineBuilder {
     Leaf leaf;
     leaf.extent = consumed ? loops.back().extent : 1;
     leaf.vslot = consumed ? vslot : -1;
+    leaf.generic = &pstore->store;
     leaf.mode = st->mode;
     ir::AffineAnalyzer az(loops);
     auto sp = Analyze(st->tensor_id, st->indices, az);
@@ -824,11 +830,13 @@ void RunBranch(const Leaf& lf, const KernelBranch& k, int64_t v0, int64_t v1,
   }
 }
 
-void RunBytecodeLeaf(const Leaf& lf, int64_t* env, ExecContext& ctx) {
-  const CompiledStore& st = *lf.bytecode;
-  for (int64_t v = 0; v < lf.extent && !ctx.failed; ++v) {
-    if (lf.vslot >= 0) {
-      env[lf.vslot] = v;
+// Env-only store loop shared by the bytecode leaf path and the native
+// engine's per-leaf fallback: evaluates `st` for every leaf position.
+void RunStoreLoop(const CompiledStore& st, int64_t extent, int vslot, int64_t* env,
+                  ExecContext& ctx) {
+  for (int64_t v = 0; v < extent && !ctx.failed; ++v) {
+    if (vslot >= 0) {
+      env[vslot] = v;
     }
     int64_t off = st.offset.Eval(env);
     if (off < 0 || off >= st.buffer_size) {
@@ -847,6 +855,154 @@ void RunBytecodeLeaf(const Leaf& lf, int64_t* env, ExecContext& ctx) {
       (*st.buffer)[off] += static_cast<float>(val);
     }
   }
+}
+
+void RunBytecodeLeaf(const Leaf& lf, int64_t* env, ExecContext& ctx) {
+  RunStoreLoop(*lf.bytecode, lf.extent, lf.vslot, env, ctx);
+}
+
+// ===========================================================================
+// Native engine: the affine plan re-expressed as a pointer-free
+// codegen::KernelSpec. Buffers become positions in a table assigned in
+// first-appearance order over a deterministic plan walk, so two programs
+// with equal ir::ProgramStructureKey build byte-identical specs and share
+// one compiled kernel. Leaves the kernel library cannot express (bytecode
+// stores, kEval branches) run through a host callback indexed by leaf.
+// ===========================================================================
+
+// One per plan leaf; `store == nullptr` marks leaves the generated code
+// never routes through the callback.
+struct NativeFallbackLeaf {
+  const CompiledStore* store = nullptr;
+  int64_t extent = 1;
+  int vslot = -1;
+};
+
+struct NativeBuild {
+  codegen::KernelSpec spec;
+  std::vector<float*> bufs;
+  std::vector<NativeFallbackLeaf> fallbacks;  // indexed by leaf
+};
+
+NativeBuild BuildNativeSpec(const AffinePlan& plan, size_t env_size) {
+  NativeBuild nb;
+  codegen::KernelSpec& spec = nb.spec;
+  spec.env_size = static_cast<int>(env_size);
+  spec.acc_init = plan.acc_init;
+
+  std::unordered_map<const float*, int> buffer_index;
+  auto buf_id = [&](const float* p) {
+    auto [it, inserted] = buffer_index.emplace(p, static_cast<int>(nb.bufs.size()));
+    if (inserted) {
+      nb.bufs.push_back(const_cast<float*>(p));
+    }
+    return it->second;
+  };
+  auto convert_access = [&](const AffineAccess& a) {
+    codegen::KernelSpec::Access out;
+    out.buffer = buf_id(a.data);
+    out.size = a.size;
+    out.acc = a.acc;
+    out.inner = a.inner;
+    return out;
+  };
+  auto convert_branch = [&](const KernelBranch& k) {
+    codegen::KernelSpec::Branch b;
+    switch (k.kind) {
+      case KernelKind::kFill:
+        b.kind = codegen::KernelSpec::BranchKind::kFill;
+        b.imm = k.imm;
+        break;
+      case KernelKind::kCopy:
+        b.kind = codegen::KernelSpec::BranchKind::kCopy;
+        b.a = convert_access(k.a);
+        break;
+      case KernelKind::kMulAcc:
+        b.kind = codegen::KernelSpec::BranchKind::kMulAcc;
+        b.a_is_imm = k.a_is_imm;
+        b.b_is_imm = k.b_is_imm;
+        b.imm_a = k.imm_a;
+        b.imm_b = k.imm_b;
+        if (!k.a_is_imm) {
+          b.a = convert_access(k.a);
+        }
+        if (!k.b_is_imm) {
+          b.b = convert_access(k.b);
+        }
+        break;
+      case KernelKind::kEval:
+        break;  // unreachable: kEval leaves fall back before conversion
+    }
+    return b;
+  };
+
+  nb.fallbacks.resize(plan.leaves.size());
+  for (size_t li = 0; li < plan.leaves.size(); ++li) {
+    const Leaf& lf = plan.leaves[li];
+    codegen::KernelSpec::Leaf out;
+    out.extent = lf.extent;
+    out.vslot = lf.vslot;
+    const bool native = lf.bytecode == nullptr && lf.then_k.kind != KernelKind::kEval &&
+                        (!lf.guarded || lf.else_k.kind != KernelKind::kEval);
+    if (!native) {
+      out.fallback = true;
+      spec.needs_env = true;
+      nb.fallbacks[li] = {lf.bytecode != nullptr ? lf.bytecode : lf.generic, lf.extent,
+                          lf.vslot};
+    } else {
+      out.out_buffer = buf_id(lf.out);
+      out.out_size = lf.out_size;
+      out.store_acc = lf.store_acc;
+      out.store_inner = lf.store_inner;
+      out.accumulate = lf.mode == ir::StoreMode::kAccumulate;
+      out.guarded = lf.guarded;
+      for (const LeafCond& c : lf.conds) {
+        out.conds.push_back({c.acc, c.cv, c.lo, c.hi, c.modulus, c.rem});
+      }
+      out.then_k = convert_branch(lf.then_k);
+      if (lf.guarded) {
+        out.else_k = convert_branch(lf.else_k);
+      }
+    }
+    spec.leaves.push_back(std::move(out));
+  }
+  for (const Instr& ins : plan.instrs) {
+    codegen::KernelSpec::Instr out;
+    switch (ins.kind) {
+      case Instr::kLoopBegin:
+        out.kind = codegen::KernelSpec::Instr::kLoopBegin;
+        break;
+      case Instr::kLoopEnd:
+        out.kind = codegen::KernelSpec::Instr::kLoopEnd;
+        break;
+      case Instr::kLeaf:
+        out.kind = codegen::KernelSpec::Instr::kLeaf;
+        break;
+    }
+    out.slot = ins.slot;
+    out.extent = ins.extent;
+    out.match = ins.match;
+    out.leaf = ins.leaf;
+    out.bumps = ins.bumps;
+    spec.instrs.push_back(std::move(out));
+  }
+  spec.num_buffers = static_cast<int>(nb.bufs.size());
+  return nb;
+}
+
+struct NativeThunkCtx {
+  ExecContext* ctx = nullptr;
+  const std::vector<NativeFallbackLeaf>* leaves = nullptr;
+};
+
+// The callback a generated kernel invokes for fallback leaves. Returns the
+// host-reserved code 3 on failure; the kernel propagates it verbatim and the
+// real Status is already recorded in the ExecContext.
+int64_t NativeFallbackThunk(void* p, int64_t leaf, int64_t* env) {
+  auto* t = static_cast<NativeThunkCtx*>(p);
+  const NativeFallbackLeaf& fl = (*t->leaves)[static_cast<size_t>(leaf)];
+  RunStoreLoop(*fl.store, fl.extent, fl.vslot, env, *t->ctx);
+  return t->ctx->failed ? 3 : 0;
 }
 
 void RunLeaf(const Leaf& lf, const std::vector<int64_t>& acc, int64_t* env,
@@ -965,6 +1121,13 @@ struct PreparedProgram::Impl {
   size_t env_size = 0;
   PlanNode plan;
   AffinePlan affine;
+  // Native engine state: populated when the program was prepared with
+  // kNative AND its kernel compiled (or was already cached); otherwise Run
+  // executes the affine plan built above.
+  bool use_native = false;
+  std::shared_ptr<codegen::NativeKernel> native;
+  std::vector<float*> native_bufs;
+  std::vector<NativeFallbackLeaf> native_fallbacks;
 };
 
 PreparedProgram::PreparedProgram() = default;
@@ -1042,6 +1205,28 @@ StatusOr<PreparedProgram> PreparedProgram::Prepare(const ir::Program& program,
     bytecode_leaves.Add(static_cast<uint64_t>(builder.plan.bytecode_leaves));
     impl.affine = std::move(builder.plan);
   }
+  if (options.engine == ExecEngine::kNative) {
+    static Counter& native_programs =
+        MetricsRegistry::Global().counter("codegen.native_programs");
+    static Counter& fallback_programs =
+        MetricsRegistry::Global().counter("codegen.fallback_programs");
+    NativeBuild nb = BuildNativeSpec(impl.affine, impl.env_size);
+    const std::string key =
+        codegen::KernelCache::KeyForStructure(ir::ProgramStructureKey(program));
+    auto kernel = codegen::KernelCache::Global().GetOrCompile(key, nb.spec);
+    if (kernel.ok()) {
+      impl.native = std::move(*kernel);
+      impl.native_bufs = std::move(nb.bufs);
+      impl.native_fallbacks = std::move(nb.fallbacks);
+      impl.use_native = true;
+      native_programs.Add();
+    } else {
+      // Compile/load failed (e.g. no host toolchain): Prepare still
+      // succeeds and Run serves through the affine engine. The failure
+      // Status stays cached in the KernelCache for inspection.
+      fallback_programs.Add();
+    }
+  }
   return prepared;
 }
 
@@ -1064,6 +1249,28 @@ Status PreparedProgram::Run() {
   }
   std::vector<int64_t> env(impl.env_size, 0);
   ExecContext ctx;
+  if (impl.use_native) {
+    static Counter& native = MetricsRegistry::Global().counter("interp.native_programs");
+    native.Add();
+    NativeThunkCtx thunk_ctx{&ctx, &impl.native_fallbacks};
+    const int64_t rc = impl.native->fn()(impl.native_bufs.data(), env.data(), &thunk_ctx,
+                                         &NativeFallbackThunk);
+    switch (rc) {
+      case codegen::kOk:
+      case 3:  // fallback leaf failed; ctx carries the Status already
+        break;
+      case codegen::kStoreOutOfBounds:
+        ctx.Fail("store out of bounds (native kernel)");
+        break;
+      case codegen::kLoadOutOfBounds:
+        ctx.Fail("load out of bounds (native kernel)");
+        break;
+      default:
+        ctx.Fail("internal: native kernel error code " + std::to_string(rc));
+        break;
+    }
+    return ctx.error;
+  }
   if (!impl.use_affine) {
     static Counter& generic = MetricsRegistry::Global().counter("interp.generic_programs");
     generic.Add();
@@ -1075,6 +1282,23 @@ Status PreparedProgram::Run() {
     RunAffine(impl.affine, acc, env.data(), ctx);
   }
   return ctx.error;
+}
+
+StatusOr<std::string> EnsureNativeKernel(const ir::Program& program) {
+  BufferStore scratch;
+  for (const auto& decl : program.buffers) {
+    if (decl.role == ir::BufferRole::kInput || decl.role == ir::BufferRole::kConstant) {
+      scratch.Get(decl.tensor.id).assign(static_cast<size_t>(decl.tensor.NumElements()),
+                                         0.0f);
+    }
+  }
+  ExecOptions options;
+  options.engine = ExecEngine::kNative;
+  auto prepared = PreparedProgram::Prepare(program, scratch, options);
+  if (!prepared.ok()) {
+    return prepared.status();
+  }
+  return codegen::KernelCache::KeyForStructure(ir::ProgramStructureKey(program));
 }
 
 Status Execute(const ir::Program& program, BufferStore& store) {

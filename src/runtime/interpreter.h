@@ -5,7 +5,7 @@
 // reference implementation (reference.h), whatever primitive sequences and
 // schedules were applied.
 //
-// Two engines share one compile step:
+// Three engines share one compile step:
 //   - kAffine (default): loads/stores whose offsets decompose into
 //     base + Σ stride_i · loop_i (ir/affine.h) run through an iterative
 //     loop-nest executor with incremental offset bumping, guard-range
@@ -13,7 +13,13 @@
 //     residue falls back per-store to the generic bytecode path.
 //   - kGeneric: the recursive tree-walking path, retained as the fallback
 //     target and as the oracle for differential testing.
-// Both engines produce bit-identical buffers.
+//   - kNative: the affine plan lowered to C++ (src/codegen), JIT-compiled
+//     into a dlopened shared object and cached process-wide by program
+//     structure. Leaves the plan cannot express natively (non-affine
+//     offsets, general expression values) call back into the interpreter
+//     per leaf; if the kernel cannot be compiled at all (no host compiler),
+//     Prepare degrades to the affine engine and still succeeds.
+// All engines produce bit-identical buffers.
 
 #ifndef ALT_RUNTIME_INTERPRETER_H_
 #define ALT_RUNTIME_INTERPRETER_H_
@@ -46,6 +52,8 @@ enum class ExecEngine {
   kAuto,     // affine engine with per-store generic fallback (the default)
   kAffine,   // same as kAuto (the affine engine always embeds the fallback)
   kGeneric,  // force the recursive tree-walking engine
+  kNative,   // JIT-compiled kernels with per-leaf interpreter fallback;
+             // degrades to kAffine when compilation is unavailable
 };
 
 struct ExecOptions {
@@ -86,6 +94,13 @@ class PreparedProgram {
 // (zero-filled only when the program's first write to them accumulates).
 Status Execute(const ir::Program& program, BufferStore& store);
 Status Execute(const ir::Program& program, BufferStore& store, const ExecOptions& options);
+
+// Compiles (or fetches from the process-wide codegen::KernelCache) the
+// native kernel for `program` against scratch buffers and returns its cache
+// key. Used by artifact save to embed kernels without a live session; the
+// key's object bytes are then available via KernelCache::ObjectBytes (which
+// reports the compile failure when the toolchain was unavailable).
+StatusOr<std::string> EnsureNativeKernel(const ir::Program& program);
 
 }  // namespace alt::runtime
 

@@ -8,6 +8,7 @@
 
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 
 namespace alt::runtime {
@@ -160,10 +161,10 @@ StatusOr<InferenceSession> InferenceSession::Create(const graph::Graph& graph,
   impl->out_plan = std::move(*out_plan);
 
   // Resolve the arena cap: an explicit positive cap wins, otherwise twice the
-  // hardware threads (hardware_concurrency may report 0; clamp so the cap —
-  // and with it peak concurrency — is never below the eager first arena).
-  const int hardware = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  impl->max_arenas = options.max_arenas > 0 ? options.max_arenas : std::max(2, 2 * hardware);
+  // hardware threads (HardwareThreads clamps to >= 1 so the cap — and with it
+  // peak concurrency — is never below the eager first arena).
+  impl->max_arenas =
+      options.max_arenas > 0 ? options.max_arenas : std::max(2, 2 * HardwareThreads());
 
   // Build the first arena eagerly so plan-compilation errors surface here.
   auto arena = impl->NewArena();

@@ -86,8 +86,7 @@ struct Server::Impl {
     if (options.intra_batch_threads > 0) {
       return options.intra_batch_threads;
     }
-    const int hardware = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-    return std::max(1, hardware / std::max(1, options.workers));
+    return std::max(1, HardwareThreads() / std::max(1, options.workers));
   }
 
   // Builds a session + interface identity for AddModel/SwapModel.

@@ -5,6 +5,10 @@
 
 namespace alt {
 
+int HardwareThreads() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   int workers = std::max(0, num_threads - 1);
   workers_.reserve(workers);

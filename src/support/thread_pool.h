@@ -32,6 +32,12 @@
 
 namespace alt {
 
+// std::thread::hardware_concurrency() clamped to at least 1. The standard
+// allows it to return 0 ("not computable"); every consumer that sizes a pool
+// or divides by the core count needs the same floor, so the clamp lives here
+// once instead of being re-derived (inconsistently) at each call site.
+int HardwareThreads();
+
 class ThreadPool {
  public:
   // Spawns `num_threads - 1` workers (the calling thread participates in

@@ -219,6 +219,7 @@ void ExpectEnginesBitIdentical(const Graph& g, const LayoutAssignment& la,
   runtime::FillGraphInputs(g, rng, data);
   runtime::BufferStore fast;
   runtime::BufferStore slow;
+  runtime::BufferStore native_store;
   for (const auto& t : g.tensors()) {
     if (!g.IsGraphInput(t.id) && !g.IsConstant(t.id)) {
       continue;
@@ -229,25 +230,36 @@ void ExpectEnginesBitIdentical(const Graph& g, const LayoutAssignment& la,
     ASSERT_TRUE(phys.ok()) << tag << ": " << phys.status().ToString();
     fast.Get(t.id) = *phys;
     slow.Get(t.id) = *phys;
+    native_store.Get(t.id) = *phys;
   }
   runtime::ExecOptions affine;
   affine.engine = runtime::ExecEngine::kAffine;
   runtime::ExecOptions generic;
   generic.engine = runtime::ExecEngine::kGeneric;
+  runtime::ExecOptions native;
+  native.engine = runtime::ExecEngine::kNative;
   for (const auto& program : net.programs) {
     Status sa = runtime::Execute(program, fast, affine);
     Status sg = runtime::Execute(program, slow, generic);
+    Status sn = runtime::Execute(program, native_store, native);
     ASSERT_EQ(sa.ok(), sg.ok()) << tag << " affine=" << sa.ToString()
                                 << " generic=" << sg.ToString();
+    ASSERT_EQ(sa.ok(), sn.ok()) << tag << " affine=" << sa.ToString()
+                                << " native=" << sn.ToString();
     ASSERT_TRUE(sa.ok()) << tag << ": " << sa.ToString();
     for (const auto& decl : program.buffers) {
       const auto* a = fast.Find(decl.tensor.id);
       const auto* b = slow.Find(decl.tensor.id);
+      const auto* n = native_store.Find(decl.tensor.id);
       ASSERT_NE(a, nullptr) << tag;
       ASSERT_NE(b, nullptr) << tag;
+      ASSERT_NE(n, nullptr) << tag;
       ASSERT_EQ(a->size(), b->size()) << tag << " tensor " << decl.tensor.name;
+      ASSERT_EQ(a->size(), n->size()) << tag << " tensor " << decl.tensor.name;
       ASSERT_EQ(std::memcmp(a->data(), b->data(), a->size() * sizeof(float)), 0)
-          << tag << " tensor " << decl.tensor.name << " differs";
+          << tag << " tensor " << decl.tensor.name << " differs (affine vs generic)";
+      ASSERT_EQ(std::memcmp(a->data(), n->data(), a->size() * sizeof(float)), 0)
+          << tag << " tensor " << decl.tensor.name << " differs (affine vs native)";
     }
   }
 }

@@ -158,14 +158,14 @@ TEST(Artifact, RejectsUnknownVersion) {
   auto contents = ReadFile(path);
   ASSERT_TRUE(contents.ok());
 
-  // Forge a v2 header WITH a valid CRC frame: only the version gate can
-  // reject it.
+  // Forge a v3 header WITH a valid CRC frame: only the version gate can
+  // reject it. (v2 is the kernel-embedding format and loads fine.)
   std::vector<std::string> lines = Split(*contents, '\n');
   ASSERT_FALSE(lines.empty());
   std::string payload;
   ASSERT_TRUE(UnframeLine(lines[0], &payload));
   ASSERT_EQ(payload.rfind("altart v1 ", 0), 0u);
-  payload.replace(0, 9, "altart v2");
+  payload.replace(0, 9, "altart v3");
   lines[0] = FrameLine(payload);
   ASSERT_TRUE(WriteFile(path, Join(lines, "\n")).ok());
   auto loaded = LoadArtifact(path);

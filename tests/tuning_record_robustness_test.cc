@@ -180,6 +180,9 @@ TEST(TuningRecordRobustness, JournalCorruptionCorpusNeverCrashesTheLoader) {
           frame("measure not-16-hex-chars ok 1.5"),       // bad site field
       frame(good) + frame("measure 0123456789abcdef zap"), // bad outcome word
       frame(good) + frame("batch spent=x best=y"),         // bad batch fields
+      frame(good) +
+          frame("batch spent=99999999999999999999 best=1.5"),  // spent > int64
+      frame(good) + frame("batch spent=4294967296 best=1.5"),  // spent > int32
       frame(good) + frame("future-kind anything goes"),    // unknown kind: ok
       std::string(1, '\0') + frame(good),                  // NUL first byte
       frame("journal v9 fp=0000000000000000"),             // unsupported header
@@ -197,6 +200,36 @@ TEST(TuningRecordRobustness, JournalCorruptionCorpusNeverCrashesTheLoader) {
       EXPECT_EQ(loaded->fingerprint, 0xffull) << "corpus entry " << i;
     }
   }
+  RemoveFile(path);
+}
+
+TEST(TuningRecordRobustness, BatchSpentParsingIsRangeChecked) {
+  // The spent counter is parsed with checked 32-bit conversion: a value that
+  // does not fit is a corrupt record (discarded like any other), never a
+  // silently-truncated count. The old strtol + static_cast path would have
+  // accepted 4294967296 as 0 on LP64.
+  auto frame = [](const std::string& payload) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x ", Crc32(payload));
+    return crc + payload + "\n";
+  };
+  const std::string good = "journal v1 fp=0000000000000001";
+  const std::string path = ::testing::TempDir() + "journal_batch_range.altj";
+
+  ASSERT_TRUE(WriteFile(path, frame(good) + frame("batch spent=42 best=1.5")).ok());
+  auto ok = core::LoadTuningJournal(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->batch_lines, 1);
+  EXPECT_EQ(ok->last_spent, 42);
+  EXPECT_EQ(ok->discarded_bytes, 0);
+
+  ASSERT_TRUE(
+      WriteFile(path, frame(good) + frame("batch spent=4294967296 best=1.5")).ok());
+  auto overflow = core::LoadTuningJournal(path);
+  ASSERT_TRUE(overflow.ok()) << overflow.status().ToString();
+  EXPECT_EQ(overflow->batch_lines, 0);
+  EXPECT_EQ(overflow->last_spent, 0);
+  EXPECT_GT(overflow->discarded_bytes, 0);
   RemoveFile(path);
 }
 
