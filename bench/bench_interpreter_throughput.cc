@@ -16,6 +16,7 @@
 // (codegen.fallback_programs > 0), in which case the native gate is skipped
 // because "native" silently served through the affine engine.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +28,7 @@
 #include "src/autotune/layout_templates.h"
 #include "src/runtime/session.h"
 #include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
 
 namespace alt {
 
@@ -36,27 +38,39 @@ struct BenchConfig {
   graph::LayoutAssignment la;
 };
 
-// A deterministic schedule that exercises the vectorized inner-loop kernels:
-// each spatial axis keeps a unit-stride vec slot (largest divisor <= 8).
+// A deterministic schedule that exercises the vectorized inner-loop kernels
+// AND carves a multi-core outer tile: each spatial axis takes an outer tile
+// (largest divisor <= 8) whose leading two axes are marked kParallel —
+// canonical conv2d gets a parallel out-channel tile of 8, canonical GMM a
+// parallel row tile of 8 — then keeps a unit-stride vec slot from what
+// remains. The kParallel root is what the intra-op thread sweep below
+// shards.
 loop::LoopSchedule DefaultSchedule(const loop::LoopNestSignature& sig) {
   loop::LoopSchedule s;
-  for (int64_t e : sig.spatial_extents) {
-    int64_t vec = 1;
-    for (int64_t d = 1; d <= 8 && d <= e; ++d) {
+  auto largest_divisor = [](int64_t e, int64_t cap) {
+    int64_t best = 1;
+    for (int64_t d = 1; d <= cap && d <= e; ++d) {
       if (e % d == 0) {
-        vec = d;
+        best = d;
       }
     }
+    return best;
+  };
+  for (int64_t e : sig.spatial_extents) {
+    const int64_t outer = largest_divisor(e, 8);
+    const int64_t rest = e / outer;
+    const int64_t vec = largest_divisor(rest, 8);
     loop::SpatialAxisSchedule a;
-    a.outer = 1;
+    a.outer = outer;
     a.mid = 1;
-    a.inner = e / vec;
+    a.inner = rest / vec;
     a.vec = vec;
     s.spatial.push_back(a);
   }
   for (int64_t e : sig.reduction_extents) {
     s.reduction.push_back({e, 1});
   }
+  s.parallel_axes = 2;
   return s;
 }
 
@@ -209,24 +223,79 @@ double RunOnce(const loop::LoweredNetwork& net, runtime::BufferStore& store,
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+// Prepare-once / Run-many execution for the thread sweep: plan compilation,
+// shardability analysis, and the intra-op pool are paid once, so the timed
+// runs measure execution alone — the serving-path shape.
+StatusOr<std::vector<runtime::PreparedProgram>> PrepareNet(const loop::LoweredNetwork& net,
+                                                           runtime::BufferStore& store,
+                                                           const runtime::ExecOptions& opts) {
+  std::vector<runtime::PreparedProgram> programs;
+  programs.reserve(net.programs.size());
+  for (const auto& program : net.programs) {
+    auto prepared = runtime::PreparedProgram::Prepare(program, store, opts);
+    if (!prepared.ok()) {
+      return prepared.status();
+    }
+    programs.push_back(std::move(*prepared));
+  }
+  return programs;
+}
+
+double RunPrepared(std::vector<runtime::PreparedProgram>& programs) {
+  auto start = std::chrono::steady_clock::now();
+  for (auto& p : programs) {
+    Status s = p.Run();
+    if (!s.ok()) {
+      std::fprintf(stderr, "prepared run failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Bit-identity across thread counts: every declared buffer of every program
+// must match the serial reference exactly.
+bool StoresMatch(const loop::LoweredNetwork& net, const runtime::BufferStore& got,
+                 const runtime::BufferStore& want, std::string* what) {
+  for (const auto& program : net.programs) {
+    for (const auto& decl : program.buffers) {
+      const auto* a = got.Find(decl.tensor.id);
+      const auto* b = want.Find(decl.tensor.id);
+      if (a == nullptr || b == nullptr || a->size() != b->size() ||
+          std::memcmp(a->data(), b->data(), a->size() * sizeof(float)) != 0) {
+        *what = decl.tensor.name;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 int Main() {
   bench::PrintHeader(
       "Interpreter throughput: generic tree walk vs affine engine vs native "
       "JIT (elements = innermost store executions)");
 
+  // The three-way race is a SINGLE-THREAD engine comparison: intra-op
+  // sharding is pinned off so the ratios keep measuring per-core execution.
+  // The thread sweep below is where kParallel roots fan out.
   runtime::ExecOptions affine;
   affine.engine = runtime::ExecEngine::kAffine;
+  affine.intra_threads = 1;
   runtime::ExecOptions generic;
   generic.engine = runtime::ExecEngine::kGeneric;
+  generic.intra_threads = 1;
   runtime::ExecOptions native;
   native.engine = runtime::ExecEngine::kNative;
+  native.intra_threads = 1;
   const int64_t fallback_before =
       MetricsRegistry::Global().Snapshot().counter("codegen.fallback_programs");
 
+  std::vector<BenchConfig> configs = BuildConfigs();
   std::vector<ConfigResult> results;
   std::printf("%-22s %14s %14s %14s %9s %9s\n", "config", "affine_el/s",
               "generic_el/s", "native_el/s", "aff/gen", "nat/aff");
-  for (auto& cfg : BuildConfigs()) {
+  for (auto& cfg : configs) {
     auto net = Lower(cfg.g, cfg.la);
     if (!net.ok()) {
       std::fprintf(stderr, "%s: lowering failed: %s\n", cfg.name.c_str(),
@@ -317,6 +386,110 @@ int Main() {
                 r.affine_stats.max);
   }
 
+  // --- intra-op thread sweep ------------------------------------------------
+  // Every config runs the affine and native engines at 1/2/4/hw intra-op
+  // threads (Prepare once, Run many), with a bit-identity check against the
+  // serial run at every width. Configs whose kParallel root fails the
+  // disjointness proof (e.g. channels-last, where the parallel axis carries
+  // the smallest stride) degrade to serial and simply sweep flat.
+  struct SweepPoint {
+    std::string config;
+    std::string engine;
+    int threads = 0;
+    double eps = 0.0;
+    double speedup = 0.0;  // vs the same engine at 1 thread
+  };
+  const int64_t parallel_before =
+      MetricsRegistry::Global().Snapshot().counter("interp.parallel_programs");
+  std::vector<int> sweep_threads = {1, 2, 4, HardwareThreads()};
+  std::sort(sweep_threads.begin(), sweep_threads.end());
+  sweep_threads.erase(std::unique(sweep_threads.begin(), sweep_threads.end()),
+                      sweep_threads.end());
+  std::vector<SweepPoint> sweep;
+  std::printf("\nintra-op thread sweep (Prepare once / Run many):\n");
+  std::printf("%-22s %-7s %8s %14s %9s\n", "config", "engine", "threads", "el/s",
+              "vs_1t");
+  for (auto& cfg : configs) {
+    auto net = Lower(cfg.g, cfg.la);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s: lowering failed: %s\n", cfg.name.c_str(),
+                   net.status().ToString().c_str());
+      return 1;
+    }
+    int64_t elems = 0;
+    for (const auto& program : net->programs) {
+      elems += ir::CountStoreExecutions(program.root);
+    }
+    for (const auto* engine_name : {"affine", "native"}) {
+      const runtime::ExecEngine engine = std::strcmp(engine_name, "affine") == 0
+                                             ? runtime::ExecEngine::kAffine
+                                             : runtime::ExecEngine::kNative;
+      // Serial reference buffers for the bit-identity gate.
+      runtime::BufferStore ref_store;
+      if (!SeedStore(cfg.g, cfg.la, ref_store, 11).ok()) {
+        std::fprintf(stderr, "%s: input physicalization failed\n", cfg.name.c_str());
+        return 1;
+      }
+      runtime::ExecOptions ref_opts;
+      ref_opts.engine = engine;
+      ref_opts.intra_threads = 1;
+      auto ref_prepared = PrepareNet(*net, ref_store, ref_opts);
+      if (!ref_prepared.ok()) {
+        std::fprintf(stderr, "%s: prepare failed: %s\n", cfg.name.c_str(),
+                     ref_prepared.status().ToString().c_str());
+        return 1;
+      }
+      RunPrepared(*ref_prepared);
+      double base_eps = 0.0;
+      for (int t : sweep_threads) {
+        runtime::BufferStore store;
+        if (!SeedStore(cfg.g, cfg.la, store, 11).ok()) {
+          std::fprintf(stderr, "%s: input physicalization failed\n", cfg.name.c_str());
+          return 1;
+        }
+        runtime::ExecOptions opts;
+        opts.engine = engine;
+        opts.intra_threads = t;
+        auto prepared = PrepareNet(*net, store, opts);
+        if (!prepared.ok()) {
+          std::fprintf(stderr, "%s: prepare failed: %s\n", cfg.name.c_str(),
+                       prepared.status().ToString().c_str());
+          return 1;
+        }
+        RunPrepared(*prepared);  // warm-up; also the correctness run
+        std::string bad;
+        if (!StoresMatch(*net, store, ref_store, &bad)) {
+          std::fprintf(stderr,
+                       "%s: BIT-IDENTITY VIOLATION at %s intra_threads=%d on tensor %s\n",
+                       cfg.name.c_str(), engine_name, t, bad.c_str());
+          return 1;
+        }
+        constexpr int kSweepReps = 10;
+        std::vector<double> eps_samples;
+        for (int r = 0; r < kSweepReps; ++r) {
+          eps_samples.push_back(static_cast<double>(elems) / RunPrepared(*prepared));
+        }
+        SweepPoint p;
+        p.config = cfg.name;
+        p.engine = engine_name;
+        p.threads = t;
+        p.eps = bench::Summarize(eps_samples).p50;
+        if (t == 1) {
+          base_eps = p.eps;
+        }
+        p.speedup = base_eps > 0.0 ? p.eps / base_eps : 0.0;
+        std::printf("%-22s %-7s %8d %14.3e %8.2fx\n", p.config.c_str(), engine_name, t,
+                    p.eps, p.speedup);
+        sweep.push_back(std::move(p));
+      }
+    }
+  }
+  const int64_t parallel_programs =
+      MetricsRegistry::Global().Snapshot().counter("interp.parallel_programs") -
+      parallel_before;
+  std::printf("parallel (sharded) program runs during sweep: %lld\n",
+              static_cast<long long>(parallel_programs));
+
   const std::string trace_dir = bench::TraceDir();
   if (!trace_dir.empty()) {
     std::string json = "{\n  \"interpreter_throughput\": [\n";
@@ -332,12 +505,26 @@ int Main() {
                     r.speedup, r.native_vs_affine, i + 1 < results.size() ? "," : "");
       json += buf;
     }
-    char tail[192];
+    json += "  ],\n  \"thread_sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const auto& p = sweep[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"config\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
+                    "\"elements_per_s\": %.6e, \"speedup_vs_1\": %.3f}%s\n",
+                    p.config.c_str(), p.engine.c_str(), p.threads, p.eps, p.speedup,
+                    i + 1 < sweep.size() ? "," : "");
+      json += buf;
+    }
+    char tail[256];
     std::snprintf(tail, sizeof(tail),
                   "  ],\n  \"geomean_speedup\": %.3f,\n"
                   "  \"native_geomean_vs_affine\": %.3f,\n"
-                  "  \"native_fallback_programs\": %lld\n}\n",
-                  geomean, native_geomean, static_cast<long long>(native_fallbacks));
+                  "  \"native_fallback_programs\": %lld,\n"
+                  "  \"parallel_programs\": %lld,\n"
+                  "  \"hardware_threads\": %d\n}\n",
+                  geomean, native_geomean, static_cast<long long>(native_fallbacks),
+                  static_cast<long long>(parallel_programs), HardwareThreads());
     json += tail;
     Status ws = WriteFile(trace_dir + "/interpreter_throughput_metrics.json", json);
     if (!ws.ok()) {
@@ -365,6 +552,39 @@ int Main() {
     std::fprintf(stderr, "NATIVE REGRESSION: geomean %.2fx < 1x vs affine\n",
                  native_geomean);
     return 1;
+  }
+  // Scaling gate: the canonical configs carry provably disjoint kParallel
+  // roots, so 4 intra-op threads must buy >= 2x geomean over serial — for the
+  // affine engine always, and for native whenever every kernel compiled
+  // (under fallback "native" shards the affine plan, double-counting it).
+  // Skipped on hosts without 4 cores, where the speedup physically cannot
+  // materialize.
+  if (HardwareThreads() < 4) {
+    std::printf("scaling gate skipped: host has %d hardware threads (< 4)\n",
+                HardwareThreads());
+  } else {
+    double scale_log_sum = 0.0;
+    int scale_n = 0;
+    for (const auto& p : sweep) {
+      if (p.threads != 4 ||
+          (p.config != "conv2d/canonical" && p.config != "gmm/canonical")) {
+        continue;
+      }
+      if (p.engine == "native" && native_fallbacks > 0) {
+        continue;
+      }
+      scale_log_sum += std::log(p.speedup);
+      ++scale_n;
+    }
+    const double scale_geomean =
+        scale_n > 0 ? std::exp(scale_log_sum / scale_n) : 0.0;
+    std::printf("geomean scaling at 4 threads (canonical configs): %.2fx\n",
+                scale_geomean);
+    if (scale_geomean < 2.0) {
+      std::fprintf(stderr, "SCALING REGRESSION: geomean %.2fx < 2x at 4 threads\n",
+                   scale_geomean);
+      return 1;
+    }
   }
   return 0;
 }

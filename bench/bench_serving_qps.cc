@@ -253,6 +253,51 @@ int Main() {
               "session runs, across %d hot-swap(s)\n\n",
               kRequests, swaps);
 
+  // --- multi-worker sweep: workers x intra_batch_threads x intra-op --------
+  // The three thread knobs compose: worker threads drain the queue,
+  // intra_batch_threads fan requests of one batch across the session pool,
+  // and intra-op threads shard each program's kParallel root. The sweep shows
+  // where each knob pays (and that the budget keeps them from fighting) —
+  // every point re-checks bit-identity against the direct session runs.
+  struct SweepRow {
+    int workers = 0;
+    int batch_threads = 0;
+    int intra_threads = 0;
+    double rps = 0.0;
+    double p99_us = 0.0;
+  };
+  std::vector<SweepRow> worker_sweep;
+  std::printf("%-10s %-14s %-13s %10s %10s\n", "workers", "batch_threads",
+              "intra_threads", "req/s", "p99 us");
+  for (int workers : {1, 2}) {
+    for (int batch_threads : {1, 2}) {
+      for (int intra : {1, 2}) {
+        serving::ServerOptions sopt;
+        sopt.policy.max_batch_size = 16;
+        sopt.policy.max_delay_us = 2000;
+        sopt.workers = workers;
+        sopt.intra_batch_threads = batch_threads;
+        sopt.session.intra_threads = intra;
+        serving::Server server(sopt);
+        Status added = server.AddModel("m", compiled->graph, compiled->assignment, net);
+        if (!added.ok()) {
+          std::fprintf(stderr, "add model failed: %s\n", added.ToString().c_str());
+          return 1;
+        }
+        StreamResult point;
+        if (!RunStream(server, "m", compiled->graph, expected, nullptr, &point)) {
+          std::fprintf(stderr, "sweep point workers=%d batch_threads=%d intra=%d failed\n",
+                       workers, batch_threads, intra);
+          return 1;
+        }
+        std::printf("%-10d %-14d %-13d %10.1f %10.0f\n", workers, batch_threads,
+                    intra, point.rps, point.p99_us);
+        worker_sweep.push_back({workers, batch_threads, intra, point.rps, point.p99_us});
+      }
+    }
+  }
+  std::printf("\n");
+
   const int hardware = static_cast<int>(std::thread::hardware_concurrency());
   std::printf("%-34s %10s %10s %10s %10s\n", "mode", "req/s", "p95 us", "p99 us",
               "batch");
@@ -280,11 +325,24 @@ int Main() {
                   "    \"batching_mean_batch\": %.3f,\n"
                   "    \"batching_speedup\": %.4f,\n"
                   "    \"pool_reuse_speedup\": %.4f,\n"
-                  "    \"hot_swaps\": %d\n  }\n}\n",
+                  "    \"hot_swaps\": %d\n  },\n"
+                  "  \"worker_sweep\": [\n",
                   kRequests, hardware, per_request.rps, per_request.p99_us,
                   batching.rps, batching.p99_us, batching.mean_batch,
                   batching.rps / per_request.rps, pool_reuse_speedup, swaps);
-    Status ws = WriteFile(trace_dir + "/serving_qps_metrics.json", buf);
+    std::string json = buf;
+    for (size_t i = 0; i < worker_sweep.size(); ++i) {
+      const auto& row = worker_sweep[i];
+      char rbuf[256];
+      std::snprintf(rbuf, sizeof(rbuf),
+                    "    {\"workers\": %d, \"intra_batch_threads\": %d, "
+                    "\"intra_threads\": %d, \"rps\": %.3f, \"p99_us\": %.3f}%s\n",
+                    row.workers, row.batch_threads, row.intra_threads, row.rps,
+                    row.p99_us, i + 1 < worker_sweep.size() ? "," : "");
+      json += rbuf;
+    }
+    json += "  ]\n}\n";
+    Status ws = WriteFile(trace_dir + "/serving_qps_metrics.json", json);
     if (!ws.ok()) {
       std::fprintf(stderr, "metrics artifact not written: %s\n", ws.ToString().c_str());
     } else {

@@ -20,6 +20,11 @@
 //     embeds the JIT-compiled kernel objects in the artifact and serving
 //     prefers them; a reloaded artifact then serves with zero recompiles
 //     (codegen.compiles stays 0, codegen.cache_hits counts the reuse).
+//   --intra-threads <n> or ALT_INTRA_THREADS=<n>
+//     Intra-op threads for serving: root loops the schedule marked
+//     ForKind::kParallel shard across n threads when provably safe
+//     (bit-identical results at any n). <= 0 uses one per hardware core;
+//     1 keeps execution serial.
 //
 // Deployment (alt/alt-ol/alt-wp methods only):
 //   --artifact <path> or ALT_ARTIFACT=<path>
@@ -116,7 +121,7 @@ alt::graph::Graph BuildNetwork(const std::string& name) {
 // Serves one randomly-filled request through an InferenceSession built from
 // a loaded artifact and prints what ran.
 int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded,
-                        alt::runtime::ExecEngine engine) {
+                        const alt::runtime::SessionOptions& session_options) {
   using namespace alt;
   const autotune::CompiledNetwork& net = loaded.network;
   std::printf("loaded artifact: graph %s, tuned for %s (%s, budget %d, seed %llu, "
@@ -126,8 +131,6 @@ int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded,
               static_cast<unsigned long long>(loaded.info.seed),
               loaded.info.measurements_used, FormatMicros(loaded.info.best_latency_us).c_str(),
               loaded.info.kernels);
-  runtime::SessionOptions session_options;
-  session_options.exec.engine = engine;
   auto session = runtime::InferenceSession::Create(net.graph, net.assignment,
                                                    {net.groups, net.programs}, session_options);
   if (!session.ok()) {
@@ -152,11 +155,11 @@ int ServeLoadedArtifact(const alt::core::LoadedArtifact& loaded,
 // Serves `count` randomly-filled requests through the dynamic-batching
 // front-end and prints the operator metrics once the traffic drains.
 int ServeTraffic(const alt::core::LoadedArtifact& loaded, int count,
-                 alt::runtime::ExecEngine engine) {
+                 const alt::runtime::SessionOptions& session_options) {
   using namespace alt;
   const autotune::CompiledNetwork& net = loaded.network;
   serving::ServerOptions server_options;
-  server_options.session.exec.engine = engine;
+  server_options.session = session_options;
   serving::Server server(server_options);
   Status added = server.AddModel(net.graph.name(), loaded);
   if (!added.ok()) {
@@ -204,6 +207,8 @@ int main(int argc, char** argv) {
   std::string tuning_db_path = std::getenv("ALT_TUNING_DB") ? std::getenv("ALT_TUNING_DB") : "";
   int workers = std::getenv("ALT_WORKERS") ? std::atoi(std::getenv("ALT_WORKERS")) : 0;
   std::string engine_name = std::getenv("ALT_ENGINE") ? std::getenv("ALT_ENGINE") : "auto";
+  int intra_threads =
+      std::getenv("ALT_INTRA_THREADS") ? std::atoi(std::getenv("ALT_INTRA_THREADS")) : 0;
   int serve_requests = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
@@ -217,6 +222,8 @@ int main(int argc, char** argv) {
       tuning_db_path = argv[++i];
     } else if (std::string(argv[i]) == "--engine" && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (std::string(argv[i]) == "--intra-threads" && i + 1 < argc) {
+      intra_threads = std::atoi(argv[++i]);
     } else {
       pos.push_back(argv[i]);
     }
@@ -232,6 +239,13 @@ int main(int argc, char** argv) {
   std::string method = pos.size() > 2 ? pos[2] : "alt";
   int budget = pos.size() > 3 ? std::atoi(pos[3].c_str()) : 400;
 
+  // One flag set drives every serving path: ToSessionOptions maps the facade
+  // options (engine, intra-op budget) onto session options.
+  core::AltOptions serve_options;
+  serve_options.engine = engine;
+  serve_options.intra_threads = intra_threads;
+  const runtime::SessionOptions session_options = core::ToSessionOptions(serve_options);
+
   if (!artifact_path.empty() && FileExists(artifact_path)) {
     auto loaded = core::LoadArtifact(artifact_path);
     if (!loaded.ok()) {
@@ -240,9 +254,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (serve_requests > 0) {
-      return ServeTraffic(*loaded, serve_requests, engine);
+      return ServeTraffic(*loaded, serve_requests, session_options);
     }
-    return ServeLoadedArtifact(*loaded, engine);
+    return ServeLoadedArtifact(*loaded, session_options);
   }
 
   graph::Graph g = BuildNetwork(net_name);
@@ -264,6 +278,7 @@ int main(int argc, char** argv) {
     core::AltOptions options;
     options.budget = budget;
     options.engine = engine;
+    options.intra_threads = intra_threads;
     if (const char* trace = std::getenv("ALT_TRACE")) {
       options.trace.path = trace;
     }

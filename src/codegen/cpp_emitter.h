@@ -27,7 +27,10 @@ inline constexpr const char* kKernelSymbol = "alt_kernel_entry";
 
 // Bumped whenever emitted code could change for an unchanged spec; part of
 // the kernel cache key, so stale cached objects are never reused.
-inline constexpr int kCodegenVersion = 1;
+// v2: kernel ABI takes a [begin, end) slice of the outer parallel loop —
+// v1 objects embedded in old artifacts miss the new "cg2|"-salted keys and
+// recompile instead of loading with the four-argument signature.
+inline constexpr int kCodegenVersion = 2;
 
 // Renders `spec` as a complete, self-contained C++ translation unit.
 // Deterministic: equal specs produce byte-identical source.

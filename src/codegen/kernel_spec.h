@@ -33,9 +33,17 @@ namespace alt::codegen {
 //   ctx      — opaque host state threaded through to `fallback`.
 //   fallback — runs fallback leaf `leaf` at the loop state in `env`; returns
 //              0 on success, nonzero to abort the kernel.
+//   begin/end — iteration slice [begin, end) of the outermost loop when the
+//              spec was built `sliced` (a kParallel root with proven
+//              write-disjointness — ir::ParallelRootWritesDisjoint): the
+//              runtime dispatches one invocation per shard, each on its own
+//              env array. Non-sliced kernels ignore both (callers pass 0, 0);
+//              sliced kernels run the full program when called with
+//              (0, root extent).
 // Returns 0 on success or one of the KernelError codes below.
 using KernelFn = int64_t (*)(float** bufs, int64_t* env, void* ctx,
-                             int64_t (*fallback)(void* ctx, int64_t leaf, int64_t* env));
+                             int64_t (*fallback)(void* ctx, int64_t leaf, int64_t* env),
+                             int64_t begin, int64_t end);
 
 // Nonzero return codes of a generated kernel. Fallback-leaf codes pass
 // through verbatim, so hosts must keep their own codes out of this range.
@@ -108,6 +116,13 @@ struct KernelSpec {
 
   int num_buffers = 0;
   int env_size = 0;
+  // True when instrs[0] is the program's outermost loop AND that loop is a
+  // kParallel root with proven cross-iteration write-disjointness: the
+  // emitted outer loop then runs `for (i = begin; i < end; ++i)` so the
+  // runtime can shard it. Pure function of program structure (the proof
+  // consults only extents/strides/guards, all part of ProgramStructureKey),
+  // so cache sharing by structure key stays sound.
+  bool sliced = false;
   // True when any leaf falls back: loops then maintain `env` for the
   // callback; otherwise env writes are omitted entirely.
   bool needs_env = false;

@@ -66,6 +66,13 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   return tuning;
 }
 
+runtime::SessionOptions ToSessionOptions(const AltOptions& options) {
+  runtime::SessionOptions session;
+  session.exec.engine = options.engine;
+  session.intra_threads = options.intra_threads;
+  return session;
+}
+
 StatusOr<autotune::CompiledNetwork> RunTuner(const graph::Graph& graph,
                                              const sim::Machine& machine,
                                              const AltOptions& options,

@@ -40,6 +40,7 @@
 #include "src/autotune/tuner.h"
 #include "src/baselines/baselines.h"
 #include "src/runtime/interpreter.h"
+#include "src/runtime/session.h"
 
 namespace alt::core {
 
@@ -96,6 +97,11 @@ struct AltOptions {
   // kNative additionally makes SaveArtifact embed the JIT-compiled kernel
   // objects so a loaded artifact serves without recompiling.
   runtime::ExecEngine engine = runtime::ExecEngine::kAuto;
+  // Intra-op threads for executing the compiled network: root loops the
+  // schedule marked ForKind::kParallel shard across this many threads when
+  // provably safe (runtime::SessionOptions::intra_threads). <= 0 selects
+  // HardwareThreads(); 1 keeps execution serial.
+  int intra_threads = 0;
   MeasureOptions measure;
   FaultOptions fault;
   TraceOptions trace;
@@ -106,6 +112,11 @@ struct AltOptions {
 // derive the exact options a plain Compile would use.
 autotune::TuningOptions ToTuningOptions(const AltOptions& options,
                                         const sim::Machine& machine);
+
+// Maps the facade options onto serving-session options (execution engine and
+// intra-op thread budget), so embedders serving a CompiledNetwork or loaded
+// artifact get the same execution behavior from one set of flags.
+runtime::SessionOptions ToSessionOptions(const AltOptions& options);
 
 StatusOr<autotune::CompiledNetwork> Compile(const graph::Graph& graph,
                                             const sim::Machine& machine,

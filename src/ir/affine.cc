@@ -302,6 +302,136 @@ int64_t ContiguousInnerRun(const std::vector<int64_t>& strides,
 
 namespace {
 
+// Per-tensor union footprint of every access, expressed relative to the root
+// loop: offset(i0, inner...) = root_coeff * i0 + r with r in [lo, hi].
+struct TensorFootprint {
+  bool written = false;
+  bool provable = true;     // all accesses decomposed with one root stride
+  bool any = false;
+  int64_t root_coeff = 0;
+  int64_t lo = 0, hi = 0;   // inclusive residual range at root iteration 0
+};
+
+struct FootprintScan {
+  const Program* program = nullptr;
+  std::vector<AffineLoop> loops;  // enclosing loops, root first
+  std::unordered_map<int, TensorFootprint> tensors;
+
+  void AddAccess(int tensor_id, const std::vector<Expr>& indices, bool is_write) {
+    TensorFootprint& fp = tensors[tensor_id];
+    fp.written = fp.written || is_write;
+    if (!fp.provable) {
+      return;
+    }
+    const BufferDecl* decl = program->FindBuffer(tensor_id);
+    if (decl == nullptr) {
+      fp.provable = false;
+      return;
+    }
+    auto strides = RowMajorStrides(decl->tensor.shape);
+    if (indices.size() != strides.size()) {
+      fp.provable = false;
+      return;
+    }
+    Expr linear = Const(0);
+    for (size_t d = 0; d < indices.size(); ++d) {
+      linear = Add(linear, Mul(indices[d], strides[d]));
+    }
+    AffineAnalyzer az(loops);
+    auto form = az.Decompose(linear);
+    if (!form) {
+      fp.provable = false;
+      return;
+    }
+    // Residual range over every loop but the root (coeff index 0).
+    int64_t lo = form->base;
+    int64_t hi = form->base;
+    for (size_t i = 1; i < form->coeffs.size(); ++i) {
+      int64_t span = form->coeffs[i] * std::max<int64_t>(loops[i].extent - 1, 0);
+      if (span < 0) {
+        lo += span;
+      } else {
+        hi += span;
+      }
+    }
+    if (!fp.any) {
+      fp.any = true;
+      fp.root_coeff = form->coeffs[0];
+      fp.lo = lo;
+      fp.hi = hi;
+      return;
+    }
+    if (form->coeffs[0] != fp.root_coeff) {
+      fp.provable = false;  // mixed root strides: footprints shear apart
+      return;
+    }
+    fp.lo = std::min(fp.lo, lo);
+    fp.hi = std::max(fp.hi, hi);
+  }
+
+  void ScanVal(const Val& v) {
+    if (!v) {
+      return;
+    }
+    if (v->kind == ValKind::kLoad) {
+      AddAccess(v->tensor_id, v->indices, /*is_write=*/false);
+      return;
+    }
+    // Select guard expressions index loops, not memory — only the value
+    // operands can carry loads.
+    ScanVal(v->a);
+    ScanVal(v->b);
+  }
+
+  void Scan(const Stmt& s) {
+    switch (s->kind) {
+      case StmtKind::kFor:
+        loops.push_back({s->loop_var->var_id, s->extent});
+        Scan(s->body);
+        loops.pop_back();
+        return;
+      case StmtKind::kBlock:
+        for (const auto& child : s->stmts) {
+          Scan(child);
+        }
+        return;
+      case StmtKind::kStore:
+        AddAccess(s->tensor_id, s->indices, /*is_write=*/true);
+        ScanVal(s->value);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+bool ParallelRootWritesDisjoint(const Program& program) {
+  if (!program.root || program.root->kind != StmtKind::kFor) {
+    return false;
+  }
+  const StmtNode* root = program.root.get();
+  FootprintScan scan;
+  scan.program = &program;
+  scan.loops.push_back({root->loop_var->var_id, root->extent});
+  scan.Scan(root->body);
+  for (const auto& [tensor_id, fp] : scan.tensors) {
+    if (!fp.written) {
+      continue;  // read-only tensors never conflict
+    }
+    if (!fp.provable || !fp.any || fp.root_coeff == 0) {
+      return false;
+    }
+    const int64_t width = fp.hi - fp.lo;  // footprint spans width + 1 elements
+    const int64_t step = fp.root_coeff < 0 ? -fp.root_coeff : fp.root_coeff;
+    if (width >= step) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
 // Normalizing serializer for ProgramStructureKey.
 struct KeyBuilder {
   std::ostringstream oss;

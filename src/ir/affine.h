@@ -91,6 +91,24 @@ std::optional<std::pair<int64_t, int64_t>> GuardRange(int64_t c0, int64_t cv, in
 int64_t ContiguousInnerRun(const std::vector<int64_t>& strides,
                            const std::vector<int64_t>& extents);
 
+// Conservative cross-iteration disjointness proof for the program's
+// outermost loop, the enabling analysis for intra-op sharding of a
+// ForKind::kParallel root (runtime/interpreter.cc, codegen sliced kernels).
+//
+// Returns true when distinct iterations of the root loop provably touch
+// disjoint element ranges of every tensor the program WRITES, so contiguous
+// iteration shards may execute concurrently with bit-identical results. The
+// proof: every access (store or load — fused consumers re-read what the
+// iteration wrote) of a written tensor must decompose affinely over its
+// enclosing loops, all such accesses must share one nonzero root-loop
+// coefficient c0, and the union of their footprints over the non-root loops
+// must span fewer than |c0| + 1 elements — the footprint then translates
+// uniformly by c0 per iteration and never overlaps itself. Reads of tensors
+// the program never writes (inputs, constants) are unconstrained. Anything
+// unprovable — non-affine residue, mixed root strides, a root-invariant
+// write — returns false and the caller degrades the loop to serial.
+bool ParallelRootWritesDisjoint(const Program& program);
+
 // Structural signature of a Program: loop kinds/extents, store modes, index
 // and value expression shapes, guard constants, and the shapes of every
 // referenced buffer — with loop-variable ids and tensor ids normalized to

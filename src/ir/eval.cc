@@ -75,12 +75,21 @@ StatusOr<CompiledExpr> CompiledExpr::Compile(const Expr& e, const VarSlotMap& sl
     }
     out.ops_.push_back(op);
   }
-  out.stack_.resize(out.ops_.size() + 1);
   return out;
 }
 
 int64_t CompiledExpr::Eval(const int64_t* env) const {
-  int64_t* sp = stack_.data();
+  // Stack-local operand stack: Eval holds no shared mutable state, so the
+  // same compiled expression is safe to evaluate from concurrent intra-op
+  // shards. ops_.size() + 1 bounds the depth; real index expressions are a
+  // handful of ops, so the heap spill is effectively dead code.
+  int64_t inline_stack[kInlineStack];
+  std::vector<int64_t> spill;
+  int64_t* sp = inline_stack;
+  if (ops_.size() + 1 > kInlineStack) {
+    spill.resize(ops_.size() + 1);
+    sp = spill.data();
+  }
   for (const Op& op : ops_) {
     switch (op.code) {
       case OpCode::kPushConst:

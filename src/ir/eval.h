@@ -53,8 +53,11 @@ class CompiledExpr {
 
   // Default-constructed: evaluates to 0 (a single push-const op), so callers
   // that record a Status and keep a placeholder expression stay well-defined.
-  CompiledExpr() : ops_{{OpCode::kPushConst, 0}}, stack_(2) {}
+  CompiledExpr() : ops_{{OpCode::kPushConst, 0}} {}
 
+  // Thread-safe: the operand stack lives on the caller's stack (with a heap
+  // spill for pathologically deep expressions), so one CompiledExpr may be
+  // evaluated concurrently from intra-op shards sharing a prepared program.
   int64_t Eval(const int64_t* env) const;
 
   // True when the expression is a constant (no ops besides one push-const).
@@ -77,8 +80,11 @@ class CompiledExpr {
     int64_t imm = 0;  // const value or slot index
   };
 
+  // Operand slots Eval keeps inline on its own stack; expressions needing
+  // more (never seen from real lowerings) spill to a per-call heap buffer.
+  static constexpr size_t kInlineStack = 64;
+
   std::vector<Op> ops_;
-  mutable std::vector<int64_t> stack_;
 };
 
 }  // namespace alt::ir

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -1005,6 +1006,47 @@ int64_t NativeFallbackThunk(void* p, int64_t leaf, int64_t* env) {
   return t->ctx->failed ? 3 : 0;
 }
 
+// Translates a native kernel return code into the ExecContext. Code 3 is the
+// host-reserved fallback-failure code: the Status is already in the context.
+void ApplyNativeRc(int64_t rc, ExecContext& ctx) {
+  switch (rc) {
+    case codegen::kOk:
+    case 3:
+      break;
+    case codegen::kStoreOutOfBounds:
+      ctx.Fail("store out of bounds (native kernel)");
+      break;
+    case codegen::kLoadOutOfBounds:
+      ctx.Fail("load out of bounds (native kernel)");
+      break;
+    default:
+      ctx.Fail("internal: native kernel error code " + std::to_string(rc));
+      break;
+  }
+}
+
+// RAII TryAcquire/Release around one Run. `threads` is non-null only when
+// this Run won the session's intra-op budget and may shard.
+struct PoolLease {
+  IntraOpPool* pool = nullptr;
+  ThreadPool* threads = nullptr;
+  explicit PoolLease(IntraOpPool* p) {
+    if (p != nullptr) {
+      threads = p->TryAcquire();
+      if (threads != nullptr) {
+        pool = p;
+      }
+    }
+  }
+  ~PoolLease() {
+    if (pool != nullptr) {
+      pool->Release();
+    }
+  }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+};
+
 void RunLeaf(const Leaf& lf, const std::vector<int64_t>& acc, int64_t* env,
              ExecContext& ctx) {
   if (lf.bytecode != nullptr) {
@@ -1035,11 +1077,16 @@ void RunLeaf(const Leaf& lf, const std::vector<int64_t>& acc, int64_t* env,
   RunBranch(lf, lf.else_k, te, lf.extent, acc, env, ctx);
 }
 
-void RunAffine(const AffinePlan& plan, std::vector<int64_t>& acc, int64_t* env,
-               ExecContext& ctx) {
-  std::vector<int64_t> iters(plan.instrs.size(), 0);
-  size_t ip = 0;
-  while (ip < plan.instrs.size() && !ctx.failed) {
+// Executes the instruction range [from, to). `acc` must hold the accumulator
+// values at instruction `from`; on successful return it is restored to those
+// entry values — every kLoopEnd un-bumps its accumulators on exit — so a
+// range can be re-entered with fresh loop state. `iters` is caller-owned
+// scratch (one slot per instruction) so shard loops don't reallocate it.
+void RunAffineRange(const AffinePlan& plan, size_t from, size_t to,
+                    std::vector<int64_t>& acc, int64_t* env, std::vector<int64_t>& iters,
+                    ExecContext& ctx) {
+  size_t ip = from;
+  while (ip < to && !ctx.failed) {
     const Instr& ins = plan.instrs[ip];
     switch (ins.kind) {
       case Instr::kLoopBegin: {
@@ -1078,6 +1125,38 @@ void RunAffine(const AffinePlan& plan, std::vector<int64_t>& acc, int64_t* env,
   }
 }
 
+void RunAffine(const AffinePlan& plan, std::vector<int64_t>& acc, int64_t* env,
+               ExecContext& ctx) {
+  std::vector<int64_t> iters(plan.instrs.size(), 0);
+  RunAffineRange(plan, 0, plan.instrs.size(), acc, env, iters, ctx);
+}
+
+// Executes iterations [begin, end) of the root loop of `plan` with private
+// accumulator/env/iteration state. Preconditions (established by Prepare's
+// shardability analysis): instrs[0] is the root kLoopBegin, its matching end
+// is the last instruction, and 0 <= begin <= end <= extent. The incremental
+// offset state is re-based in closed form — acc = acc_init + stride·begin —
+// so a shard starts with exactly the accumulator values serial execution
+// would have reached, and the body range restores them after each iteration.
+void RunAffineShard(const AffinePlan& plan, int64_t begin, int64_t end, size_t env_size,
+                    ExecContext& ctx) {
+  const Instr& root = plan.instrs[0];
+  std::vector<int64_t> acc = plan.acc_init;
+  for (const auto& [a, s] : root.bumps) {
+    acc[a] += s * begin;
+  }
+  std::vector<int64_t> env(env_size, 0);
+  std::vector<int64_t> iters(plan.instrs.size(), 0);
+  const size_t body_end = static_cast<size_t>(root.match);
+  for (int64_t i = begin; i < end && !ctx.failed; ++i) {
+    env[root.slot] = i;
+    RunAffineRange(plan, 1, body_end, acc, env.data(), iters, ctx);
+    for (const auto& [a, s] : root.bumps) {
+      acc[a] += s;
+    }
+  }
+}
+
 // In-order (= execution-order) first store per tensor id: a tensor whose
 // first write plainly assigns needs no zero-fill; only accumulate-first
 // (reduction) outputs rely on a zeroed buffer.
@@ -1098,6 +1177,31 @@ void CollectFirstStores(const ir::Stmt& s, std::unordered_map<int, ir::StoreMode
 }
 
 }  // namespace
+
+IntraOpPool::IntraOpPool(int threads) {
+  threads_ = threads > 0 ? threads : HardwareThreads();
+  if (threads_ < 1) {
+    threads_ = 1;
+  }
+}
+
+IntraOpPool::~IntraOpPool() = default;
+
+ThreadPool* IntraOpPool::TryAcquire() {
+  if (threads_ <= 1) {
+    return nullptr;
+  }
+  bool expected = false;
+  if (!busy_.compare_exchange_strong(expected, true)) {
+    return nullptr;
+  }
+  // Workers spawn on the first successful acquire only; a serial-only session
+  // never pays for threads it doesn't use.
+  std::call_once(once_, [this] { pool_ = std::make_unique<ThreadPool>(threads_); });
+  return pool_.get();
+}
+
+void IntraOpPool::Release() { busy_.store(false); }
 
 // All compiled state for one prepared program. The AffinePlan's leaves hold
 // pointers into the PlanNode tree (`bytecode`, `eval`), so the tree is moved
@@ -1128,6 +1232,16 @@ struct PreparedProgram::Impl {
   std::shared_ptr<codegen::NativeKernel> native;
   std::vector<float*> native_bufs;
   std::vector<NativeFallbackLeaf> native_fallbacks;
+  // Intra-op sharding: set when the root loop is kParallel, spans the whole
+  // instruction array, and every iteration provably writes a disjoint region
+  // (ir::ParallelRootWritesDisjoint). `intra` is non-null only when sharding
+  // is both provable and enabled (> 1 intra-op threads).
+  bool shardable = false;
+  int64_t root_extent = 0;
+  // The native kernel was emitted with a [begin, end) root slice; a serial
+  // native Run must then pass (0, root_extent) instead of the ignored (0, 0).
+  bool native_sliced = false;
+  std::shared_ptr<IntraOpPool> intra;
 };
 
 PreparedProgram::PreparedProgram() = default;
@@ -1204,6 +1318,32 @@ StatusOr<PreparedProgram> PreparedProgram::Prepare(const ir::Program& program,
     kernel_leaves.Add(static_cast<uint64_t>(builder.plan.kernel_leaves));
     bytecode_leaves.Add(static_cast<uint64_t>(builder.plan.bytecode_leaves));
     impl.affine = std::move(builder.plan);
+    // Intra-op sharding analysis. The root loop is shardable when the
+    // schedule marked it kParallel AND the conservative disjointness proof
+    // holds; a kParallel root that fails the proof (e.g. a parallel
+    // reduction axis) degrades to serial execution, counted so schedules
+    // that promise parallelism without delivering it stay visible.
+    if (program.root->kind == ir::StmtKind::kFor &&
+        program.root->for_kind == ir::ForKind::kParallel && program.root->extent > 1 &&
+        !impl.affine.instrs.empty() && impl.affine.instrs[0].kind == Instr::kLoopBegin &&
+        impl.affine.instrs[0].match == static_cast<int>(impl.affine.instrs.size()) - 1) {
+      if (ir::ParallelRootWritesDisjoint(program)) {
+        impl.shardable = true;
+        impl.root_extent = impl.affine.instrs[0].extent;
+      } else {
+        static Counter& degraded =
+            MetricsRegistry::Global().counter("interp.parallel_degraded");
+        degraded.Add();
+      }
+    }
+    if (impl.shardable) {
+      std::shared_ptr<IntraOpPool> pool =
+          options.intra_pool ? options.intra_pool
+                             : std::make_shared<IntraOpPool>(options.intra_threads);
+      if (pool->threads() > 1) {
+        impl.intra = std::move(pool);
+      }
+    }
   }
   if (options.engine == ExecEngine::kNative) {
     static Counter& native_programs =
@@ -1211,6 +1351,11 @@ StatusOr<PreparedProgram> PreparedProgram::Prepare(const ir::Program& program,
     static Counter& fallback_programs =
         MetricsRegistry::Global().counter("codegen.fallback_programs");
     NativeBuild nb = BuildNativeSpec(impl.affine, impl.env_size);
+    // Slice the emitted root loop iff the structure proof allows sharding.
+    // Deliberately independent of the thread options: the flag — like the
+    // proof it reflects — is a pure function of ProgramStructureKey, so
+    // cached kernels stay shareable across sessions with different budgets.
+    nb.spec.sliced = impl.shardable;
     const std::string key =
         codegen::KernelCache::KeyForStructure(ir::ProgramStructureKey(program));
     auto kernel = codegen::KernelCache::Global().GetOrCompile(key, nb.spec);
@@ -1219,6 +1364,7 @@ StatusOr<PreparedProgram> PreparedProgram::Prepare(const ir::Program& program,
       impl.native_bufs = std::move(nb.bufs);
       impl.native_fallbacks = std::move(nb.fallbacks);
       impl.use_native = true;
+      impl.native_sliced = nb.spec.sliced;
       native_programs.Add();
     } else {
       // Compile/load failed (e.g. no host toolchain): Prepare still
@@ -1249,25 +1395,55 @@ Status PreparedProgram::Run() {
   }
   std::vector<int64_t> env(impl.env_size, 0);
   ExecContext ctx;
+  // Shard dispatch: split [0, root_extent) into one contiguous slice per
+  // pool member and run each with private acc/env/error state. The zero
+  // fills above already ran serially, and disjointness was proven at
+  // Prepare, so shards never touch the same element. Errors merge lowest
+  // shard first — the reported failure is the one serial execution would
+  // have hit first, whatever the thread timing.
+  const auto run_sharded = [&](ThreadPool& pool,
+                               const std::function<void(int64_t, int64_t, ExecContext&)>&
+                                   shard) {
+    static Counter& parallel =
+        MetricsRegistry::Global().counter("interp.parallel_programs");
+    parallel.Add();
+    const int shards = static_cast<int>(
+        std::min<int64_t>(static_cast<int64_t>(pool.size()), impl.root_extent));
+    std::vector<ExecContext> shard_ctx(static_cast<size_t>(shards));
+    const Status pool_status = pool.ParallelFor(shards, [&](int s) {
+      const int64_t b = impl.root_extent * s / shards;
+      const int64_t e = impl.root_extent * (s + 1) / shards;
+      shard(b, e, shard_ctx[static_cast<size_t>(s)]);
+    });
+    for (ExecContext& sc : shard_ctx) {
+      if (sc.failed) {
+        ctx = std::move(sc);
+        break;
+      }
+    }
+    if (!ctx.failed && !pool_status.ok()) {
+      ctx.failed = true;
+      ctx.error = pool_status;
+    }
+  };
   if (impl.use_native) {
     static Counter& native = MetricsRegistry::Global().counter("interp.native_programs");
     native.Add();
-    NativeThunkCtx thunk_ctx{&ctx, &impl.native_fallbacks};
-    const int64_t rc = impl.native->fn()(impl.native_bufs.data(), env.data(), &thunk_ctx,
-                                         &NativeFallbackThunk);
-    switch (rc) {
-      case codegen::kOk:
-      case 3:  // fallback leaf failed; ctx carries the Status already
-        break;
-      case codegen::kStoreOutOfBounds:
-        ctx.Fail("store out of bounds (native kernel)");
-        break;
-      case codegen::kLoadOutOfBounds:
-        ctx.Fail("load out of bounds (native kernel)");
-        break;
-      default:
-        ctx.Fail("internal: native kernel error code " + std::to_string(rc));
-        break;
+    PoolLease lease(impl.intra.get());
+    if (lease.threads != nullptr) {
+      run_sharded(*lease.threads, [&](int64_t b, int64_t e, ExecContext& sc) {
+        std::vector<int64_t> shard_env(impl.env_size, 0);
+        NativeThunkCtx thunk_ctx{&sc, &impl.native_fallbacks};
+        ApplyNativeRc(impl.native->fn()(impl.native_bufs.data(), shard_env.data(),
+                                        &thunk_ctx, &NativeFallbackThunk, b, e),
+                      sc);
+      });
+    } else {
+      NativeThunkCtx thunk_ctx{&ctx, &impl.native_fallbacks};
+      ApplyNativeRc(impl.native->fn()(impl.native_bufs.data(), env.data(), &thunk_ctx,
+                                      &NativeFallbackThunk, 0,
+                                      impl.native_sliced ? impl.root_extent : 0),
+                    ctx);
     }
     return ctx.error;
   }
@@ -1278,8 +1454,15 @@ Status PreparedProgram::Run() {
   } else {
     static Counter& affine = MetricsRegistry::Global().counter("interp.affine_programs");
     affine.Add();
-    std::vector<int64_t> acc = impl.affine.acc_init;
-    RunAffine(impl.affine, acc, env.data(), ctx);
+    PoolLease lease(impl.intra.get());
+    if (lease.threads != nullptr) {
+      run_sharded(*lease.threads, [&](int64_t b, int64_t e, ExecContext& sc) {
+        RunAffineShard(impl.affine, b, e, impl.env_size, sc);
+      });
+    } else {
+      std::vector<int64_t> acc = impl.affine.acc_init;
+      RunAffine(impl.affine, acc, env.data(), ctx);
+    }
   }
   return ctx.error;
 }

@@ -24,12 +24,15 @@
 #ifndef ALT_RUNTIME_INTERPRETER_H_
 #define ALT_RUNTIME_INTERPRETER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/ir/stmt.h"
 #include "src/support/status.h"
+#include "src/support/thread_pool.h"
 
 namespace alt::runtime {
 
@@ -56,8 +59,50 @@ enum class ExecEngine {
              // degrades to kAffine when compilation is unavailable
 };
 
+// Intra-op worker pool with a built-in thread budget. One pool is shared by
+// every prepared program of a session: a Run that wants to shard a kParallel
+// root TryAcquire()s the pool and runs serially (bit-identically) when
+// another Run already holds it. That single-holder gate is the budget policy
+// — with batch fan-out F and intra-op threads T, peak live threads are
+// F + T - 1 (one sharded Run joins the pool's T - 1 workers), never F * T.
+// Worker threads spawn lazily on the first successful acquire, so sessions
+// whose programs never shard cost nothing.
+class IntraOpPool {
+ public:
+  // `threads` is total intra-op parallelism for one sharded Run (the caller
+  // participates). <= 0 selects HardwareThreads(); 1 disables sharding.
+  explicit IntraOpPool(int threads = 0);
+  ~IntraOpPool();
+
+  IntraOpPool(const IntraOpPool&) = delete;
+  IntraOpPool& operator=(const IntraOpPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // The pool when this caller may shard; nullptr when sharding is disabled
+  // (threads() == 1) or another Run holds the pool. Non-blocking — a refused
+  // caller executes serially rather than queueing. Pair with Release().
+  ThreadPool* TryAcquire();
+  void Release();
+
+ private:
+  int threads_ = 1;
+  std::atomic<bool> busy_{false};
+  std::once_flag once_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
 struct ExecOptions {
   ExecEngine engine = ExecEngine::kAuto;
+  // Intra-op threads for sharding a root ForKind::kParallel loop whose
+  // iterations provably write disjoint regions (ir::ParallelRootWritesDisjoint).
+  // <= 0 selects HardwareThreads(); 1 keeps execution serial. Results are
+  // bit-identical at any thread count. Ignored when `intra_pool` is set.
+  int intra_threads = 0;
+  // Session-shared pool + budget. When null, Prepare builds a private pool
+  // (at `intra_threads`) for each shardable program; sessions install one
+  // shared pool here so concurrent Runs never stack worker threads.
+  std::shared_ptr<IntraOpPool> intra_pool;
 };
 
 // A program compiled once against a fixed BufferStore, executable many times.

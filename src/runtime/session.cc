@@ -65,6 +65,12 @@ struct InferenceSession::Impl {
   mutable std::mutex batch_mu;
   mutable std::unique_ptr<ThreadPool> batch_pool;
 
+  // One intra-op pool for the whole session (every arena, every program):
+  // its single-holder TryAcquire is the thread budget — at most one Run in
+  // the session shards at a time, so batch fan-out and intra-op threads add
+  // instead of multiplying.
+  std::shared_ptr<IntraOpPool> intra_pool;
+
   StatusOr<std::unique_ptr<Arena>> NewArena() const {
     auto arena = std::make_unique<Arena>();
     // Pre-size every feed buffer so PreparedProgram::Prepare sees correctly
@@ -72,10 +78,14 @@ struct InferenceSession::Impl {
     for (const FeedSpec& f : feeds) {
       arena->store.Get(f.tensor_id).assign(f.plan.physical_size, 0.0f);
     }
+    ExecOptions exec = options.exec;
+    if (!exec.intra_pool) {
+      exec.intra_pool = intra_pool;
+    }
     // Prepare in execution order: each program allocates its outputs, which
     // later programs validate as their inputs.
     for (const auto& program : net.programs) {
-      auto prepared = PreparedProgram::Prepare(program, arena->store, options.exec);
+      auto prepared = PreparedProgram::Prepare(program, arena->store, exec);
       if (!prepared.ok()) {
         return prepared.status();
       }
@@ -165,6 +175,16 @@ StatusOr<InferenceSession> InferenceSession::Create(const graph::Graph& graph,
   // peak concurrency — is never below the eager first arena).
   impl->max_arenas =
       options.max_arenas > 0 ? options.max_arenas : std::max(2, 2 * HardwareThreads());
+
+  // Resolve the intra-op budget before the first arena so its programs bind
+  // the shared pool. The gauge reports the resolved per-session width even
+  // when no program ever shards (workers spawn lazily on first use).
+  impl->intra_pool = options.exec.intra_pool
+                         ? options.exec.intra_pool
+                         : std::make_shared<IntraOpPool>(options.intra_threads);
+  MetricsRegistry::Global()
+      .gauge("session.intra_threads")
+      .Set(impl->intra_pool->threads());
 
   // Build the first arena eagerly so plan-compilation errors surface here.
   auto arena = impl->NewArena();

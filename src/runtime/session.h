@@ -45,6 +45,14 @@ struct SessionOptions {
   // never waits, while a burst of N >> cores callers queues instead of
   // allocating N full buffer arenas.
   int max_arenas = 0;
+  // Intra-op threads for sharding provably-parallel root loops (see
+  // ExecOptions::intra_threads). <= 0 selects HardwareThreads(); 1 keeps
+  // every program serial. All arenas share ONE IntraOpPool built at Create,
+  // whose single-holder budget keeps batch fan-out from multiplying with
+  // intra-op sharding: with fan-out F, peak live threads are F +
+  // intra_threads - 1, never F * intra_threads. Ignored when
+  // exec.intra_pool is set explicitly.
+  int intra_threads = 0;
 };
 
 class InferenceSession {

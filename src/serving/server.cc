@@ -232,6 +232,16 @@ Server::Server(const ServerOptions& options) : impl_(std::make_unique<Impl>()) {
   impl_->options.policy.max_batch_size = std::max(1, options.policy.max_batch_size);
   impl_->options.policy.max_delay_us = std::max<int64_t>(0, options.policy.max_delay_us);
   impl_->options.queue_capacity = std::max(1, options.queue_capacity);
+  // Default intra-op budget: divide the machine across dispatcher workers,
+  // same policy as IntraBatchThreads — W workers each serving batches never
+  // ask for more than the core count in aggregate. Each model's session adds
+  // its own single-holder gate on top, so intra-batch fan-out and intra-op
+  // sharding add rather than multiply.
+  if (impl_->options.session.intra_threads <= 0 &&
+      !impl_->options.session.exec.intra_pool) {
+    impl_->options.session.intra_threads =
+        std::max(1, HardwareThreads() / impl_->options.workers);
+  }
   impl_->start = MetricsRegistry::Global().Snapshot();
   for (int i = 0; i < impl_->options.workers; ++i) {
     impl_->workers.emplace_back([impl = impl_.get()] { impl->WorkerLoop(); });

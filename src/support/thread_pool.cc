@@ -96,6 +96,16 @@ Status ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     }
     return error.empty() ? Status::Ok() : Status::Internal(error);
   }
+  // Reentrancy detection: a nested ParallelFor from a batch closure would
+  // reset the in-flight batch's counters under the outer caller and then
+  // join on a `completed_` total the outer batch can never reach — a silent
+  // deadlock the old contract only warned about in comments. Refuse instead.
+  bool expected = false;
+  if (!in_flight_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition(
+        "ThreadPool::ParallelFor is not reentrant: a batch is already in flight "
+        "on this pool");
+  }
   uint64_t batch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -119,7 +129,10 @@ Status ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   done_cv_.wait(lock, [this, n] { return completed_ == n; });
   fn_ = nullptr;
   batch_size_ = 0;
-  return batch_failed_ ? Status::Internal(batch_error_) : Status::Ok();
+  Status result = batch_failed_ ? Status::Internal(batch_error_) : Status::Ok();
+  lock.unlock();
+  in_flight_.store(false);
+  return result;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -9,7 +9,12 @@
 // Thread-safety contract: the closure passed to ParallelFor runs concurrently
 // on pool workers and on the calling thread; it must only write to disjoint
 // state per index (e.g. `results[i]`). ParallelFor itself is NOT reentrant
-// from multiple threads on the same pool.
+// on one pool — neither from a second thread while a batch is in flight, nor
+// from inside a batch's own closure. Reentrancy is DETECTED at runtime: the
+// offending call returns FailedPrecondition immediately (running no indices)
+// instead of corrupting the in-flight batch or self-deadlocking on the join.
+// The inline path (a pool with no workers, or n <= 1) stays callable from
+// anywhere, nested included — it touches no shared batch state.
 //
 // Fault tolerance: a closure that throws does not take the pool down. On a
 // worker thread an escaping exception would call std::terminate, and a skipped
@@ -21,6 +26,7 @@
 #ifndef ALT_SUPPORT_THREAD_POOL_H_
 #define ALT_SUPPORT_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -57,6 +63,8 @@ class ThreadPool {
   // disjoint slots and reduced by the caller afterwards. Returns Ok when every
   // invocation returned normally, otherwise Internal carrying the first
   // exception observed (all indices are still attempted either way).
+  // A reentrant call — another batch already in flight on this pool — runs
+  // nothing and returns FailedPrecondition (see the contract above).
   Status ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
@@ -70,6 +78,11 @@ class ThreadPool {
   void RecordError(int index, const char* what);
 
   std::vector<std::thread> workers_;
+
+  // Reentrancy detector for the pooled path: set for the duration of one
+  // ParallelFor, checked-and-set atomically so both a concurrent second
+  // caller and a nested call from a batch closure are refused with a Status.
+  std::atomic<bool> in_flight_{false};
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: new batch or shutdown

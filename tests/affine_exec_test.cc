@@ -19,6 +19,7 @@
 #include "src/ir/eval.h"
 #include "src/loop/lowering.h"
 #include "src/runtime/session.h"
+#include "src/support/metrics.h"
 
 namespace alt {
 namespace {
@@ -209,17 +210,37 @@ TEST(GuardRange, ClampsToTheIterationDomain) {
 // Differential corpus: affine engine vs generic fallback, bit-identical.
 // ---------------------------------------------------------------------------
 
-// Executes every program of `net` under both engines on identical physical
-// inputs and requires every buffer to match bit for bit.
+// Executes every program of `net` under all three engines — and the affine
+// and native engines additionally at intra-op thread counts 2 and 8 — on
+// identical physical inputs and requires every buffer to match bit for bit.
+// The serial affine run is the reference; thread counts above the root
+// extent and programs whose kParallel root fails the disjointness proof
+// (degrading to serial) must be equally invariant.
 void ExpectEnginesBitIdentical(const Graph& g, const LayoutAssignment& la,
                                const loop::LoweredNetwork& net, uint64_t seed,
                                const std::string& tag) {
   Rng rng(seed);
   runtime::TensorDataMap data;
   runtime::FillGraphInputs(g, rng, data);
-  runtime::BufferStore fast;
-  runtime::BufferStore slow;
-  runtime::BufferStore native_store;
+  struct EngineRun {
+    std::string name;
+    runtime::ExecOptions options;
+    runtime::BufferStore store;
+  };
+  std::vector<EngineRun> runs;
+  auto add = [&runs](const std::string& name, runtime::ExecEngine engine, int intra) {
+    runs.emplace_back();
+    runs.back().name = name;
+    runs.back().options.engine = engine;
+    runs.back().options.intra_threads = intra;
+  };
+  add("affine", runtime::ExecEngine::kAffine, 1);  // runs[0]: the reference
+  add("generic", runtime::ExecEngine::kGeneric, 1);
+  add("native", runtime::ExecEngine::kNative, 1);
+  for (int t : {2, 8}) {
+    add("affine@" + std::to_string(t), runtime::ExecEngine::kAffine, t);
+    add("native@" + std::to_string(t), runtime::ExecEngine::kNative, t);
+  }
   for (const auto& t : g.tensors()) {
     if (!g.IsGraphInput(t.id) && !g.IsConstant(t.id)) {
       continue;
@@ -228,38 +249,29 @@ void ExpectEnginesBitIdentical(const Graph& g, const LayoutAssignment& la,
     ASSERT_NE(it, data.end()) << tag;
     auto phys = runtime::Physicalize(it->second, t.shape, la.Get(t.id));
     ASSERT_TRUE(phys.ok()) << tag << ": " << phys.status().ToString();
-    fast.Get(t.id) = *phys;
-    slow.Get(t.id) = *phys;
-    native_store.Get(t.id) = *phys;
+    for (EngineRun& r : runs) {
+      r.store.Get(t.id) = *phys;
+    }
   }
-  runtime::ExecOptions affine;
-  affine.engine = runtime::ExecEngine::kAffine;
-  runtime::ExecOptions generic;
-  generic.engine = runtime::ExecEngine::kGeneric;
-  runtime::ExecOptions native;
-  native.engine = runtime::ExecEngine::kNative;
   for (const auto& program : net.programs) {
-    Status sa = runtime::Execute(program, fast, affine);
-    Status sg = runtime::Execute(program, slow, generic);
-    Status sn = runtime::Execute(program, native_store, native);
-    ASSERT_EQ(sa.ok(), sg.ok()) << tag << " affine=" << sa.ToString()
-                                << " generic=" << sg.ToString();
-    ASSERT_EQ(sa.ok(), sn.ok()) << tag << " affine=" << sa.ToString()
-                                << " native=" << sn.ToString();
-    ASSERT_TRUE(sa.ok()) << tag << ": " << sa.ToString();
+    Status ref = runtime::Execute(program, runs[0].store, runs[0].options);
+    for (size_t ri = 1; ri < runs.size(); ++ri) {
+      Status s = runtime::Execute(program, runs[ri].store, runs[ri].options);
+      ASSERT_EQ(ref.ok(), s.ok()) << tag << " affine=" << ref.ToString() << " "
+                                  << runs[ri].name << "=" << s.ToString();
+    }
+    ASSERT_TRUE(ref.ok()) << tag << ": " << ref.ToString();
     for (const auto& decl : program.buffers) {
-      const auto* a = fast.Find(decl.tensor.id);
-      const auto* b = slow.Find(decl.tensor.id);
-      const auto* n = native_store.Find(decl.tensor.id);
+      const auto* a = runs[0].store.Find(decl.tensor.id);
       ASSERT_NE(a, nullptr) << tag;
-      ASSERT_NE(b, nullptr) << tag;
-      ASSERT_NE(n, nullptr) << tag;
-      ASSERT_EQ(a->size(), b->size()) << tag << " tensor " << decl.tensor.name;
-      ASSERT_EQ(a->size(), n->size()) << tag << " tensor " << decl.tensor.name;
-      ASSERT_EQ(std::memcmp(a->data(), b->data(), a->size() * sizeof(float)), 0)
-          << tag << " tensor " << decl.tensor.name << " differs (affine vs generic)";
-      ASSERT_EQ(std::memcmp(a->data(), n->data(), a->size() * sizeof(float)), 0)
-          << tag << " tensor " << decl.tensor.name << " differs (affine vs native)";
+      for (size_t ri = 1; ri < runs.size(); ++ri) {
+        const auto* b = runs[ri].store.Find(decl.tensor.id);
+        ASSERT_NE(b, nullptr) << tag;
+        ASSERT_EQ(a->size(), b->size()) << tag << " tensor " << decl.tensor.name;
+        ASSERT_EQ(std::memcmp(a->data(), b->data(), a->size() * sizeof(float)), 0)
+            << tag << " tensor " << decl.tensor.name << " differs (affine vs "
+            << runs[ri].name << ")";
+      }
     }
   }
 }
@@ -456,6 +468,123 @@ TEST(AffineDifferential, NonAffineFallbackNetwork) {
   auto net = loop::LowerNetworkNaive(g, la, true);
   ASSERT_TRUE(net.ok());
   ExpectEnginesBitIdentical(g, la, *net, 21, "misc network");
+}
+
+// ---------------------------------------------------------------------------
+// Intra-op sharding: disjointness proof, parallel dispatch, serial degrade.
+// ---------------------------------------------------------------------------
+
+// out[i][j] = in[i][j] * 2 under a kParallel root i: every iteration writes
+// its own row, so the disjointness proof holds and the root shards.
+ir::Program DisjointParallelProgram(int64_t rows, int64_t cols) {
+  ir::Program program;
+  ir::BufferDecl in;
+  in.tensor.id = 0;
+  in.tensor.name = "in";
+  in.tensor.shape = {rows, cols};
+  in.role = ir::BufferRole::kInput;
+  ir::BufferDecl out;
+  out.tensor.id = 1;
+  out.tensor.name = "out";
+  out.tensor.shape = {rows, cols};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {in, out};
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  ir::Stmt body = ir::MakeFor(
+      j, cols, ir::ForKind::kSerial,
+      ir::MakeStore(1, {i, j}, ir::VMul(ir::Load(0, {i, j}), ir::Imm(2.0)),
+                    ir::StoreMode::kAssign));
+  program.root = ir::MakeFor(i, rows, ir::ForKind::kParallel, std::move(body));
+  return program;
+}
+
+// out[j] += in[i][j] with the kParallel loop as the REDUCTION axis: every
+// root iteration writes the same `cols` elements, so the proof must fail and
+// execution must degrade to serial (still correct, just not parallel).
+ir::Program ParallelReductionProgram(int64_t rows, int64_t cols) {
+  ir::Program program;
+  ir::BufferDecl in;
+  in.tensor.id = 0;
+  in.tensor.name = "in";
+  in.tensor.shape = {rows, cols};
+  in.role = ir::BufferRole::kInput;
+  ir::BufferDecl out;
+  out.tensor.id = 1;
+  out.tensor.name = "out";
+  out.tensor.shape = {cols};
+  out.role = ir::BufferRole::kOutput;
+  program.buffers = {in, out};
+  ir::Expr i = ir::MakeVar("i");
+  ir::Expr j = ir::MakeVar("j");
+  ir::Stmt body = ir::MakeFor(j, cols, ir::ForKind::kSerial,
+                              ir::MakeStore(1, {j}, ir::Load(0, {i, j}),
+                                            ir::StoreMode::kAccumulate));
+  program.root = ir::MakeFor(i, rows, ir::ForKind::kParallel, std::move(body));
+  return program;
+}
+
+TEST(ParallelRootWritesDisjoint, ProvesRowDisjointStores) {
+  EXPECT_TRUE(ir::ParallelRootWritesDisjoint(DisjointParallelProgram(4, 8)));
+}
+
+TEST(ParallelRootWritesDisjoint, RejectsParallelReduction) {
+  EXPECT_FALSE(ir::ParallelRootWritesDisjoint(ParallelReductionProgram(4, 8)));
+}
+
+void FillParallelInput(runtime::BufferStore& store, int64_t n) {
+  auto& in = store.Get(0);
+  in.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    in[static_cast<size_t>(i)] = static_cast<float>(i % 17) * 0.25f - 1.0f;
+  }
+}
+
+TEST(IntraOpSharding, DisjointParallelRootShards) {
+  ir::Program program = DisjointParallelProgram(4, 8);
+  runtime::BufferStore serial_store;
+  runtime::BufferStore sharded_store;
+  FillParallelInput(serial_store, 32);
+  FillParallelInput(sharded_store, 32);
+  runtime::ExecOptions serial;
+  serial.intra_threads = 1;
+  runtime::ExecOptions sharded;
+  sharded.intra_threads = 8;  // above the root extent: clamped to 4 shards
+  ASSERT_TRUE(runtime::Execute(program, serial_store, serial).ok());
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(runtime::Execute(program, sharded_store, sharded).ok());
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.counter("interp.parallel_programs") -
+                before.counter("interp.parallel_programs"),
+            1);
+  EXPECT_EQ(std::memcmp(serial_store.Get(1).data(), sharded_store.Get(1).data(),
+                        32 * sizeof(float)),
+            0);
+}
+
+TEST(IntraOpSharding, ParallelReductionDegradesToSerial) {
+  ir::Program program = ParallelReductionProgram(4, 8);
+  runtime::BufferStore serial_store;
+  runtime::BufferStore degraded_store;
+  FillParallelInput(serial_store, 32);
+  FillParallelInput(degraded_store, 32);
+  runtime::ExecOptions serial;
+  serial.intra_threads = 1;
+  runtime::ExecOptions wants_parallel;
+  wants_parallel.intra_threads = 8;
+  ASSERT_TRUE(runtime::Execute(program, serial_store, serial).ok());
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(runtime::Execute(program, degraded_store, wants_parallel).ok());
+  const MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.counter("interp.parallel_degraded") -
+                before.counter("interp.parallel_degraded"),
+            1);
+  EXPECT_EQ(after.counter("interp.parallel_programs") -
+                before.counter("interp.parallel_programs"),
+            0);
+  EXPECT_EQ(std::memcmp(serial_store.Get(1).data(), degraded_store.Get(1).data(),
+                        8 * sizeof(float)),
+            0);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -210,6 +211,56 @@ TEST(ThreadPoolTest, InlineTaskExceptionIsAlsoCaptured) {
   });
   EXPECT_FALSE(s.ok());
   EXPECT_TRUE(pool.ParallelFor(3, [](int) {}).ok());
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForFailsInsteadOfDeadlocking) {
+  // A closure that calls back into ITS OWN pool used to deadlock (the inner
+  // join waited on workers that were all busy running the outer batch). Now
+  // the inner call is detected and refused with FailedPrecondition while the
+  // outer batch completes; the pool stays usable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> inner_refused{0};
+  std::atomic<int> outer_ran{0};
+  Status outer = pool.ParallelFor(8, [&](int) {
+    outer_ran.fetch_add(1);
+    Status inner = pool.ParallelFor(2, [](int) {});
+    if (!inner.ok()) {
+      inner_refused.fetch_add(1);
+      EXPECT_NE(inner.ToString().find("not reentrant"), std::string::npos);
+    }
+  });
+  EXPECT_TRUE(outer.ok());
+  EXPECT_EQ(outer_ran.load(), 8);
+  EXPECT_EQ(inner_refused.load(), 8);
+
+  // The guard clears with the batch: fresh top-level batches run fine...
+  std::atomic<int> sum{0};
+  EXPECT_TRUE(pool.ParallelFor(10, [&](int i) { sum.fetch_add(i); }).ok());
+  EXPECT_EQ(sum.load(), 45);
+
+  // ...and nesting onto a DIFFERENT pool is allowed (the serving pattern:
+  // batch fan-out on one pool, intra-op sharding on another).
+  ThreadPool inner_pool(2);
+  std::atomic<int> nested{0};
+  Status nested_status = pool.ParallelFor(4, [&](int) {
+    // Only one outer index can hold the inner pool at a time, so serialize;
+    // the point is that a distinct pool is not refused as reentrant.
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(inner_pool.ParallelFor(3, [&](int) { nested.fetch_add(1); }).ok());
+  });
+  EXPECT_TRUE(nested_status.ok());
+  EXPECT_EQ(nested.load(), 12);
+}
+
+TEST(ThreadPoolTest, InlinePathIsNotGuardedAsReentrant) {
+  // n == 1 and single-thread pools run inline without touching the batch
+  // state, so they are callable from inside another pool's closure.
+  ThreadPool pool(4);
+  Status s = pool.ParallelFor(6, [&](int) {
+    ASSERT_TRUE(pool.ParallelFor(1, [](int) {}).ok());  // inline on same pool
+  });
+  EXPECT_TRUE(s.ok());
 }
 
 TEST(Crc32Test, KnownVectorsAndSensitivity) {
