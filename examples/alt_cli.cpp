@@ -3,7 +3,7 @@
 //
 //   ./build/examples/example_alt_cli [network] [machine] [method] [budget]
 //
-//   network: r18 | r18b16 | mv2 | bert-base | bert-tiny | r3d | first-layer
+//   network: r18 | r18b16 | mv2 | bert-base | bert-tiny | r3d | first-layer | gmm16
 //   machine: intel-cpu | nvidia-gpu | arm-cpu
 //   method:  alt | alt-ol | alt-wp | ansor | autotvm | flextensor | vendor
 //   budget:  measurement count (default 400)
@@ -113,6 +113,11 @@ alt::graph::Graph BuildNetwork(const std::string& name) {
   }
   if (name == "first-layer") {
     return alt::graph::BuildResNetFirstLayer(1);
+  }
+  if (name == "gmm16") {
+    // Single 16x16x16 matmul: the compact divisor grid makes the joint
+    // stage revisit fingerprint-equal layouts, exercising relation dedup.
+    return alt::graph::BuildSingleMatmul(16, 16, 16);
   }
   std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
   std::exit(2);

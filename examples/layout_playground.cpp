@@ -8,6 +8,7 @@
 
 #include "src/ir/expr.h"
 #include "src/layout/primitive.h"
+#include "src/layout/relation.h"
 #include "src/runtime/reference.h"
 
 namespace {
@@ -19,20 +20,22 @@ using layout::Primitive;
 void Show(const char* title, const std::vector<int64_t>& shape, const LayoutSeq& seq) {
   std::printf("--- %s ---\n", title);
   std::printf("primitives: %s\n", seq.ToString().c_str());
-  std::vector<int64_t> out = shape;
-  if (!seq.ApplyToShape(out).ok()) {
+  auto rel = layout::LayoutRelation::FromSeq(seq, shape);
+  if (!rel.ok()) {
     std::printf("  (inapplicable)\n");
     return;
   }
   std::printf("shape: %s -> %s\n", ir::ShapeToString(shape).c_str(),
-              ir::ShapeToString(out).c_str());
+              ir::ShapeToString(rel->ApplyToShape()).c_str());
+  std::printf("relation: %s (fingerprint %016llx)\n", rel->ToString().c_str(),
+              static_cast<unsigned long long>(rel->Fingerprint()));
 
   // Access rewrite of fresh canonical indices.
   std::vector<ir::Expr> vars;
   for (size_t d = 0; d < shape.size(); ++d) {
     vars.push_back(ir::MakeVar("i" + std::to_string(d)));
   }
-  auto mapped = seq.MapRead(shape, vars);
+  auto mapped = rel->MapRead(vars);
   if (mapped.ok()) {
     std::printf("access T[");
     for (size_t d = 0; d < vars.size(); ++d) {
@@ -110,6 +113,30 @@ int main() {
     std::printf("--- inverse round trip (split; reorder; unfold) ---\n");
     std::printf("max |canonicalize(physicalize(x)) - x| = %.1f\n",
                 runtime::MaxAbsDiff(*back, data));
+  }
+  {
+    // Relation algebra: two spellings of blocked NCHWc denote one relation,
+    // and a bijective relation composed with its inverse is the identity.
+    LayoutSeq a;
+    a.Append(Primitive::Split(1, {4, 8}));
+    a.Append(Primitive::Reorder({0, 1, 3, 4, 2}));
+    LayoutSeq b;
+    b.Append(Primitive::Split(1, {4, 2, 4}));
+    b.Append(Primitive::Fuse(2, 2));
+    b.Append(Primitive::Reorder({0, 1, 3, 4, 2}));
+    auto ra = layout::LayoutRelation::FromSeq(a, {1, 32, 14, 14});
+    auto rb = layout::LayoutRelation::FromSeq(b, {1, 32, 14, 14});
+    std::printf("--- relation algebra ---\n");
+    if (ra.ok() && rb.ok()) {
+      std::printf("fingerprints equal across spellings: %s\n",
+                  ra->Fingerprint() == rb->Fingerprint() ? "yes" : "no");
+      auto inv = ra->Inverse();
+      if (inv.ok()) {
+        auto round = layout::LayoutRelation::Compose(*inv, *ra);
+        std::printf("Compose(Inverse(R), R) is identity: %s\n",
+                    round.ok() && round->IsIdentity() ? "yes" : "no");
+      }
+    }
   }
   return 0;
 }

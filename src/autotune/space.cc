@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/layout/relation.h"
 #include "src/support/string_util.h"
 
 namespace alt::autotune {
@@ -115,12 +116,37 @@ StatusOr<DecodedLayouts> LayoutSpace::Decode(const graph::Graph& graph,
         << ")";
     out.desc = oss.str();
   }
-  out.state = out.output.StateVector();
-  auto si = out.input.StateVector();
-  auto sw = out.weight.StateVector();
-  out.state.insert(out.state.end(), si.begin(), si.end());
-  out.state.insert(out.state.end(), sw.begin(), sw.end());
+  out.state = RelationState(graph, op, out);
   return out;
+}
+
+std::vector<double> RelationState(const graph::Graph& graph, const graph::Op& op,
+                                  const DecodedLayouts& d) {
+  auto one = [&](const layout::LayoutSeq& seq, int tensor_id) {
+    auto rel = layout::LayoutRelation::FromSeq(seq, graph.tensor(tensor_id).shape);
+    return rel.ok() ? rel->CanonicalState() : seq.StateVector();
+  };
+  std::vector<double> state = one(d.output, op.output);
+  auto si = one(d.input, op.inputs[0]);
+  auto sw = one(d.weight, op.inputs[1]);
+  state.insert(state.end(), si.begin(), si.end());
+  state.insert(state.end(), sw.begin(), sw.end());
+  return state;
+}
+
+std::string RelationKey(const graph::Graph& graph, const graph::Op& op,
+                        const DecodedLayouts& d) {
+  auto one = [&](const layout::LayoutSeq& seq, int tensor_id) -> std::string {
+    auto rel = layout::LayoutRelation::FromSeq(seq, graph.tensor(tensor_id).shape);
+    return rel.ok() ? std::to_string(rel->Fingerprint()) : std::string();
+  };
+  std::string o = one(d.output, op.output);
+  std::string i = one(d.input, op.inputs[0]);
+  std::string w = one(d.weight, op.inputs[1]);
+  if (o.empty() || i.empty() || w.empty()) {
+    return std::string();
+  }
+  return o + "|" + i + "|" + w;
 }
 
 // ---------------------------------------------------------------------------

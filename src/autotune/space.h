@@ -35,10 +35,27 @@ struct DecodedLayouts {
   layout::LayoutSeq output;  // GMM: C
   layout::LayoutSeq input;   // GMM: A
   layout::LayoutSeq weight;  // GMM: B
-  // RL state (§5.2.1): concatenated primitive states of all three sequences.
+  // RL state (§5.2.1): concatenated relation-canonical states of all three
+  // sequences (see RelationState below).
   std::vector<double> state;
   std::string desc;
 };
+
+// RL state of a decoded candidate: the concatenated
+// layout::LayoutRelation::CanonicalState() of output/input/weight over the
+// op's tensor shapes, so two primitive spellings of the same physical layout
+// feed the agent identical states. Falls back to the legacy order-sensitive
+// LayoutSeq::StateVector() for a sequence whose relation is inapplicable to
+// its shape.
+std::vector<double> RelationState(const graph::Graph& graph, const graph::Op& op,
+                                  const DecodedLayouts& d);
+
+// Semantic identity key of the candidate's layout triple: the three relation
+// fingerprints joined, or "" when any relation fails to build. Equal keys
+// denote the same physical layouts, so the tuner shares one evaluation among
+// all spellings (layout.relation_dedup).
+std::string RelationKey(const graph::Graph& graph, const graph::Op& op,
+                        const DecodedLayouts& d);
 
 class LayoutSpace {
  public:

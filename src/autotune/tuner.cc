@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/graph/networks.h"
 #include "src/support/logging.h"
@@ -152,7 +153,8 @@ std::vector<double> JointTuner::Features(const loop::LoopNestSignature& sig,
 
 void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
                                const FusedGroup& group,
-                               const std::vector<double>& layout_state, LoopTuneState& state) {
+                               const std::vector<double>& layout_state, LoopTuneState& state,
+                               Rng& rng) {
   TraceSpan span("tuner.loop_batch");
   static Counter& batches = MetricsRegistry::Global().counter("tuner.loop_batches");
   batches.Add();
@@ -166,9 +168,9 @@ void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
   std::vector<Point> batch;
   for (int i = 0; i < options_.batch_size; ++i) {
     if (!state.best_point.empty() && i % 2 == 1) {
-      batch.push_back(NeighbourPoint(state.best_point, rng_));
+      batch.push_back(NeighbourPoint(state.best_point, rng));
     } else {
-      batch.push_back(RandomPoint(state.space.num_knobs(), rng_));
+      batch.push_back(RandomPoint(state.space.num_knobs(), rng));
     }
   }
 
@@ -179,7 +181,7 @@ void JointTuner::LoopTuneBatch(const Graph& g, const LayoutAssignment& la,
     if (options_.use_cost_model && cost_model_.trained()) {
       score = cost_model_.Predict(Features(sig, state.space.Decode(batch[i]), layout_state));
     } else {
-      score = rng_.NextDouble();
+      score = rng.NextDouble();
     }
     ranked.push_back({score, i});
   }
@@ -250,7 +252,7 @@ double ApplyCandidate(const Graph& g, const Op& op, const DecodedLayouts& decode
     la.Set(in_id, decoded.input);  // ALT-BP: override the producer's output
   } else if (g.IsConstant(in_id) || producer_writes) {
     la.Set(in_id, decoded.input);
-  } else if (!graph::SameLayout(la.Get(in_id), decoded.input)) {
+  } else if (!graph::SameLayout(la.Get(in_id), decoded.input, g.tensor(in_id).shape)) {
     // Conversion operator cost: read + write of the physical tensor.
     auto phys = la.PhysicalShape(g, in_id);
     double bytes = 4.0;
@@ -289,7 +291,7 @@ std::vector<DecodedLayouts> SeedLayouts(const Graph& g, const Op& op) {
     }
     return best;
   };
-  auto finish = [&seeds](StatusOr<ConvLayouts> layouts, const char* desc) {
+  auto finish = [&](StatusOr<ConvLayouts> layouts, const char* desc) {
     if (!layouts.ok()) {
       return;
     }
@@ -297,11 +299,7 @@ std::vector<DecodedLayouts> SeedLayouts(const Graph& g, const Op& op) {
     d.output = layouts->output;
     d.input = layouts->input;
     d.weight = layouts->weight;
-    d.state = d.output.StateVector();
-    auto si = d.input.StateVector();
-    auto sw = d.weight.StateVector();
-    d.state.insert(d.state.end(), si.begin(), si.end());
-    d.state.insert(d.state.end(), sw.begin(), sw.end());
+    d.state = RelationState(g, op, d);
     d.desc = desc;
     seeds.push_back(std::move(d));
   };
@@ -318,7 +316,7 @@ std::vector<DecodedLayouts> SeedLayouts(const Graph& g, const Op& op) {
       d.output = layouts->c;
       d.input = layouts->a;
       d.weight = layouts->b;
-      d.state = d.output.StateVector();
+      d.state = RelationState(g, op, d);
       d.desc = "seed:NKn16";
       seeds.push_back(std::move(d));
     }
@@ -365,8 +363,11 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
 
   // Briefly loop-tunes `group` under `la`, seeding with the heuristic
   // default schedule so a layout's reward reflects a competent loop nest.
+  // The batch draws come from a generator seeded per candidate (from its
+  // relation fingerprint), so the assessment is a deterministic function of
+  // the layout relation rather than of the shared tuner RNG's position.
   auto assess = [&](const LayoutAssignment& la, const FusedGroup& group,
-                    const std::vector<double>& layout_state,
+                    const std::vector<double>& layout_state, uint64_t candidate_seed,
                     std::optional<LoopSchedule>* schedule_out) -> double {
     auto sig = loop::GroupSignature(graph_, la, group);
     if (!sig.ok()) {
@@ -383,8 +384,9 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
       loop_state.best_schedule = def;
       loop_state.best_latency = def_res.latency_us;
     }
+    Rng candidate_rng(candidate_seed);
     for (int round = 0; round < options_.loop_rounds_per_layout; ++round) {
-      LoopTuneBatch(graph_, la, group, layout_state, loop_state);
+      LoopTuneBatch(graph_, la, group, layout_state, loop_state, candidate_rng);
     }
     if (schedule_out != nullptr) {
       *schedule_out = loop_state.best_schedule;
@@ -398,7 +400,8 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
 
   // Evaluates a fully-decoded layout candidate: apply to a trial assignment,
   // rebuild the loop nest, loop-tune briefly, return latency (or -1).
-  auto evaluate_candidate = [&](const DecodedLayouts& decoded) -> double {
+  auto evaluate_candidate = [&](const DecodedLayouts& decoded,
+                                uint64_t candidate_seed) -> double {
     LayoutAssignment trial = assignment_;
     double penalty = ApplyCandidate(graph_, op, decoded, options_.propagate_multi_hop,
                                     options_.input_policy, machine_, trial);
@@ -412,8 +415,45 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
     if (target == nullptr) {
       return -1.0;
     }
-    double tuned = assess(trial, *target, decoded.state, last_schedule_);
+    double tuned = assess(trial, *target, decoded.state, candidate_seed, last_schedule_);
     return tuned < 0 ? -1.0 : tuned + penalty;
+  };
+
+  // Semantic dedup (layout/relation.h): candidates whose layout triples have
+  // equal relation fingerprints denote the same physical layouts, so every
+  // spelling after the first replays the recorded evaluation (latency,
+  // schedule, and failure alike) and spends no measurement budget.
+  struct CachedEval {
+    double latency = -1.0;
+    std::optional<LoopSchedule> schedule;
+  };
+  std::unordered_map<std::string, CachedEval> relation_cache;
+  static Counter& enumerated =
+      MetricsRegistry::Global().counter("layout.candidates_enumerated");
+  static Counter& deduped = MetricsRegistry::Global().counter("layout.relation_dedup");
+
+  auto evaluate_dedup = [&](const DecodedLayouts& decoded) -> double {
+    enumerated.Add();
+    // The key always exists when the relations are constructible: it both
+    // addresses the replay cache and seeds the candidate's loop-tuning RNG,
+    // so dedup on/off cannot change which schedules a candidate explores.
+    std::string key = RelationKey(graph_, op, decoded);
+    if (options_.layout_relation_dedup && !key.empty()) {
+      auto it = relation_cache.find(key);
+      if (it != relation_cache.end()) {
+        deduped.Add();
+        *last_schedule_ = it->second.schedule;
+        return it->second.latency;
+      }
+    }
+    uint64_t candidate_seed =
+        options_.seed ^
+        (std::hash<std::string>{}(key.empty() ? decoded.desc : key) | 1ull);
+    double latency = evaluate_candidate(decoded, candidate_seed);
+    if (!key.empty()) {
+      relation_cache.emplace(std::move(key), CachedEval{latency, *last_schedule_});
+    }
+    return latency;
   };
 
   auto consider = [&](const DecodedLayouts& decoded, double latency) {
@@ -444,7 +484,7 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
     if (measurements_ - spent_start >= op_budget) {
       break;
     }
-    double latency = evaluate_candidate(seed);
+    double latency = evaluate_dedup(seed);
     if (latency > 0) {
       consider(seed, latency);
     }
@@ -470,7 +510,7 @@ StatusOr<std::optional<DecodedLayouts>> JointTuner::TuneOpLayout(int op_id,
       }
       continue;
     }
-    double latency = evaluate_candidate(*decoded);
+    double latency = evaluate_dedup(*decoded);
     if (latency < 0) {
       ++failed_attempts;
       if (layout_agent_ != nullptr) {
@@ -688,7 +728,7 @@ StatusOr<CompiledNetwork> JointTuner::Tune() {
       int stalls = 0;
       while (measurements_ - spent_start < share && stalls < 16) {
         int before = measurements_;
-        LoopTuneBatch(graph_, assignment_, groups[i], {}, states[i]);
+        LoopTuneBatch(graph_, assignment_, groups[i], {}, states[i], rng_);
         stalls = measurements_ == before ? stalls + 1 : 0;
       }
     }

@@ -95,6 +95,12 @@ struct TuningOptions {
   // space-size-vs-budget tradeoff.
   bool seed_layout_candidates = true;
   bool reverse_op_order = false;  // tune complex ops consumer-first (ALT-BP)
+  // Deduplicate layout candidates by normalized relation fingerprint
+  // (layout/relation.h): differently-spelled candidates denoting the same
+  // physical layouts share one evaluation, so the budget buys more distinct
+  // layouts. Counters layout.candidates_enumerated / layout.relation_dedup
+  // expose the hit rate; off restores evaluate-every-decode behavior.
+  bool layout_relation_dedup = true;
 
   // Parallel measurement engine (see measure.h). `measure_threads` is the
   // number of threads lowering + estimating a batch's top-k candidates
@@ -187,9 +193,14 @@ class JointTuner {
                              const loop::FusedGroup& group, const loop::LoopSchedule& sched);
 
   // One batch of loop tuning on a group; updates `state`, spends budget.
+  // `rng` supplies the batch's random draws: the joint stage passes a
+  // per-candidate generator seeded from the candidate's relation fingerprint
+  // so a layout's brief assessment is a deterministic function of the layout
+  // relation (what makes replaying fingerprint-equal candidates sound); the
+  // loop-only stage passes the shared tuner rng.
   void LoopTuneBatch(const graph::Graph& g, const graph::LayoutAssignment& la,
                      const loop::FusedGroup& group, const std::vector<double>& layout_state,
-                     LoopTuneState& state);
+                     LoopTuneState& state, Rng& rng);
 
   // Tunes the layouts of one complex op (joint stage); returns the winning
   // decoded layouts (nullopt when nothing beat the canonical seed).

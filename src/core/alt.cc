@@ -39,6 +39,7 @@ autotune::TuningOptions ToTuningOptions(const AltOptions& options,
   tuning.joint_fraction = options.joint_fraction;
   tuning.method = options.method;
   tuning.two_level_templates = options.two_level_templates;
+  tuning.layout_relation_dedup = options.layout_relation_dedup;
   tuning.seed = options.seed;
   tuning.measure_threads = options.measure.threads;
   tuning.measure_cache = options.measure.cache;

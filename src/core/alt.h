@@ -16,6 +16,13 @@
 //                      dynamic batching under a size/timeout policy, worker
 //                      dispatch onto pooled sessions, per-model latency
 //                      metrics, atomic hot-swap to a retuned artifact)
+//   LAYOUT ALGEBRA     layout::LayoutRelation (layout/relation.h — the
+//                      first-class invertible index relation a primitive
+//                      sequence denotes: Compose / Inverse / ApplyToShape,
+//                      canonical Fingerprint() for semantic equality and
+//                      candidate dedup, coalescing and divisibility queries;
+//                      LayoutSeq::MapRead / MapInverse are thin wrappers
+//                      over it)
 //
 //   graph::Graph g = graph::BuildResNet18(1);
 //   core::AltOptions options;
@@ -92,6 +99,9 @@ struct AltOptions {
   AltVariant variant = AltVariant::kFull;
   autotune::SearchMethod method = autotune::SearchMethod::kPpoPretrained;
   bool two_level_templates = false;
+  // Share one evaluation among layout candidates with equal relation
+  // fingerprints (layout/relation.h); see TuningOptions::layout_relation_dedup.
+  bool layout_relation_dedup = true;
   uint64_t seed = 1;
   // Execution engine for serving the compiled network (runtime/interpreter.h).
   // kNative additionally makes SaveArtifact embed the JIT-compiled kernel

@@ -30,6 +30,16 @@ bool SameLayout(const layout::LayoutSeq& a, const layout::LayoutSeq& b) {
   return true;
 }
 
+bool SameLayout(const layout::LayoutSeq& a, const layout::LayoutSeq& b,
+                const std::vector<int64_t>& shape) {
+  auto ra = layout::LayoutRelation::FromSeq(a, shape);
+  auto rb = layout::LayoutRelation::FromSeq(b, shape);
+  if (!ra.ok() || !rb.ok()) {
+    return SameLayout(a, b);  // inapplicable sequence: fall back to syntax
+  }
+  return ra->Fingerprint() == rb->Fingerprint();
+}
+
 PropagationResult PropagateOutputLayout(const Graph& graph, LayoutAssignment& assignment,
                                         int tensor_id, bool multi_hop, bool overwrite) {
   PropagationResult result;
@@ -37,9 +47,18 @@ PropagationResult PropagateOutputLayout(const Graph& graph, LayoutAssignment& as
   if (seq.empty()) {
     return result;
   }
-  // Constraint 1 (Alg. 1 line 3): never duplicate non-trivial advanced
-  // primitives across operators — they expand data.
-  if (seq.HasNontrivialAdvanced()) {
+  // Propagation is relation composition: an element-wise consumer computes
+  // out[i] = f(in[i]) over canonical indices, so giving its output the
+  // producer's layout relation R makes the consumer's physical relation
+  // R ∘ Id — the loop nests reconstruct identically and fusion stays legal.
+  auto rel = layout::LayoutRelation::FromSeq(seq, graph.tensor(tensor_id).shape);
+  if (!rel.ok()) {
+    return result;  // inapplicable to this shape: nothing to propagate
+  }
+  // Constraint 1 (Alg. 1 line 3): never duplicate data-expanding relations
+  // across operators (overlapping unfold, pad, store_at — the non-trivial
+  // advanced primitives).
+  if (rel->ExpandsData()) {
     result.stopped_at_advanced = true;
     return result;
   }
@@ -59,7 +78,7 @@ PropagationResult PropagateOutputLayout(const Graph& graph, LayoutAssignment& as
         continue;
       }
       // Constraint 3: only element-wise consumers with identical shapes can
-      // share the primitive sequence (parameters are shape-dependent).
+      // share the relation (its parameters are shape-dependent).
       if (!IsElementwise(consumer.kind)) {
         continue;
       }
@@ -71,7 +90,7 @@ PropagationResult PropagateOutputLayout(const Graph& graph, LayoutAssignment& as
         continue;  // already tuned or propagated
       }
       visited[out] = true;
-      assignment.Set(out, seq);
+      assignment.Set(out, rel->steps());
       result.forward_assigned.push_back(out);
       if (multi_hop) {
         queue.push_back(out);
@@ -87,7 +106,9 @@ InputSatisfaction RequestInputLayout(Graph& graph, LayoutAssignment& assignment,
   ALT_CHECK(input_index >= 0 && input_index < static_cast<int>(consumer.inputs.size()));
   int tensor_id = consumer.inputs[input_index];
 
-  if (SameLayout(assignment.Get(tensor_id), seq)) {
+  // Semantic comparison: an equivalent relation spelled differently must not
+  // trigger a conversion (the inserted op would be a physical no-op).
+  if (SameLayout(assignment.Get(tensor_id), seq, graph.tensor(tensor_id).shape)) {
     return InputSatisfaction::kAlreadySame;
   }
 

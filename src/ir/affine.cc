@@ -246,6 +246,129 @@ std::optional<AffineForm> AffineAnalyzer::Decompose(const Expr& e) const {
   return r->form;
 }
 
+namespace {
+
+// Collects the distinct Min(affine, const) nodes the plain rules cannot
+// resolve — the unfold clamps whose boundary falls inside the domain.
+void CollectClamps(const Expr& e, const AffineAnalyzer& az,
+                   std::vector<Expr>& clamps) {
+  if (!e) {
+    return;
+  }
+  if (e->kind == ExprKind::kMin && !az.Decompose(e)) {
+    auto a = az.Decompose(e->a);
+    auto b = az.Decompose(e->b);
+    auto is_const = [](const std::optional<AffineForm>& f) {
+      if (!f) {
+        return false;
+      }
+      for (int64_t c : f->coeffs) {
+        if (c != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if ((a && is_const(b)) || (b && is_const(a))) {
+      for (const Expr& seen : clamps) {
+        if (seen.get() == e.get() || ExprEquals(seen, e)) {
+          return;  // the shared tile node (or an equal spelling)
+        }
+      }
+      clamps.push_back(e);
+      return;  // operands are affine: nothing unresolved below
+    }
+  }
+  CollectClamps(e->a, az, clamps);
+  CollectClamps(e->b, az, clamps);
+}
+
+// Rebuilds `e` with every occurrence of `target` (by identity or structure)
+// replaced by `repl`. Folding constructors may simplify the result; that only
+// helps the subsequent decomposition.
+Expr ReplaceNode(const Expr& e, const Expr& target, const Expr& repl) {
+  if (!e) {
+    return e;
+  }
+  if (e.get() == target.get() || ExprEquals(e, target)) {
+    return repl;
+  }
+  if (!e->a && !e->b) {
+    return e;
+  }
+  Expr a = ReplaceNode(e->a, target, repl);
+  Expr b = ReplaceNode(e->b, target, repl);
+  if (a.get() == e->a.get() && b.get() == e->b.get()) {
+    return e;
+  }
+  switch (e->kind) {
+    case ExprKind::kAdd:
+      return Add(a, b);
+    case ExprKind::kSub:
+      return Sub(a, b);
+    case ExprKind::kMul:
+      return Mul(a, b);
+    case ExprKind::kFloorDiv:
+      return FloorDiv(a, b);
+    case ExprKind::kMod:
+      return Mod(a, b);
+    case ExprKind::kMin:
+      return Min(a, b);
+    case ExprKind::kMax:
+      return Max(a, b);
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+std::optional<ClampedForm> AffineAnalyzer::DecomposeClamped(const Expr& e) const {
+  if (!e || Decompose(e)) {
+    return std::nullopt;  // empty, or no clamp needed — callers use Decompose
+  }
+  std::vector<Expr> clamps;
+  CollectClamps(e, *this, clamps);
+  if (clamps.size() != 1) {
+    return std::nullopt;
+  }
+  const Expr& clamp = clamps[0];
+  auto fa = Decompose(clamp->a);
+  auto fb = Decompose(clamp->b);
+  if (!fa || !fb) {
+    return std::nullopt;
+  }
+  auto is_const = [](const AffineForm& f) {
+    for (int64_t c : f.coeffs) {
+      if (c != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Orient as Min(guard, bound).
+  Expr guard_e = clamp->a;
+  ClampedForm out;
+  if (is_const(*fb)) {
+    out.guard = *fa;
+    out.bound = fb->base;
+  } else if (is_const(*fa)) {
+    guard_e = clamp->b;
+    out.guard = *fb;
+    out.bound = fa->base;
+  } else {
+    return std::nullopt;
+  }
+  auto then_f = Decompose(ReplaceNode(e, clamp, guard_e));
+  auto else_f = Decompose(ReplaceNode(e, clamp, Const(out.bound)));
+  if (!then_f || !else_f) {
+    return std::nullopt;  // residue beyond the clamp
+  }
+  out.then_form = *std::move(then_f);
+  out.else_form = *std::move(else_f);
+  return out;
+}
+
 std::optional<std::pair<int64_t, int64_t>> GuardRange(int64_t c0, int64_t cv, int64_t lo,
                                                       int64_t hi, int64_t modulus,
                                                       int64_t rem, int64_t extent) {

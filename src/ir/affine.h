@@ -50,6 +50,25 @@ struct AffineForm {
   int64_t MaxValue(const std::vector<AffineLoop>& loops) const;
 };
 
+// Exact piecewise decomposition of the overlapped-tiling clamp. The layout
+// relation's canonical-representative unfold rewrite (layout/relation.h,
+// LayoutRelation::UnfoldAccess) emits accesses in a single-clamp normal form:
+// the only non-affine residue is one shared node Min(g, c) with g affine over
+// the loops and c a constant (the tile index clamped to tiles-1). Such an
+// expression is affine on each side of the clamp boundary:
+//
+//   e == then_form   wherever g <= c   (clamp not binding)
+//   e == else_form   wherever g >= c   (clamp binding: Min(g, c) == c)
+//
+// Both forms agree at g == c, so either branch may take the boundary; the
+// split is EXACT over the declared domain, like every other analyzer rule.
+struct ClampedForm {
+  AffineForm then_form;
+  AffineForm else_form;
+  AffineForm guard;   // g
+  int64_t bound = 0;  // c
+};
+
 class AffineAnalyzer {
  public:
   explicit AffineAnalyzer(std::vector<AffineLoop> loops);
@@ -60,6 +79,12 @@ class AffineAnalyzer {
   // nullopt when non-affine residue remains (unresolvable FloorDiv/Mod/Min/Max
   // or a variable that is not one of the loops).
   std::optional<AffineForm> Decompose(const Expr& e) const;
+
+  // Piecewise fallback when Decompose fails: recovers the two-sided exact
+  // form of an expression whose only residue is a single unfold clamp (see
+  // ClampedForm above). Returns nullopt when there is no clamp, more than
+  // one distinct clamp, or residue beyond the clamp.
+  std::optional<ClampedForm> DecomposeClamped(const Expr& e) const;
 
  private:
   struct Ranged {

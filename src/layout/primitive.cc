@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/layout/relation.h"
 #include "src/support/string_util.h"
 
 namespace alt::layout {
@@ -130,7 +131,9 @@ std::string Primitive::ToString() const {
   return oss.str();
 }
 
-namespace {
+// Shared with relation.cc (the relation replays primitive steps for shape
+// transforms and access-map emission).
+namespace detail {
 
 // Number of tiles an unfold produces: ceil((D - B) / S) + 1 (paper §4.1.2).
 int64_t UnfoldTiles(int64_t extent, int64_t tile, int64_t stride) {
@@ -224,7 +227,9 @@ Status ApplyPrimitiveToShape(const Primitive& p, std::vector<int64_t>& shape) {
   return Status::Internal("unknown primitive");
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::ApplyPrimitiveToShape;
 
 bool LayoutSeq::HasNontrivialAdvanced() const {
   for (const auto& p : prims_) {
@@ -245,185 +250,19 @@ Status LayoutSeq::ApplyToShape(std::vector<int64_t>& shape) const {
 StatusOr<std::vector<Expr>> LayoutSeq::MapRead(
     const std::vector<int64_t>& original_shape, const std::vector<Expr>& indices,
     const std::vector<std::optional<WindowPattern>>& patterns) const {
-  std::vector<int64_t> shape = original_shape;
-  std::vector<Expr> idx = indices;
-  std::vector<std::optional<WindowPattern>> pat = patterns;
-  pat.resize(idx.size());
-
-  for (const auto& p : prims_) {
-    int rank = static_cast<int>(shape.size());
-    switch (p.kind) {
-      case PrimitiveKind::kSplit: {
-        Expr e = idx[p.dim];
-        std::vector<Expr> parts;
-        int m = static_cast<int>(p.factors.size());
-        int64_t inner = 1;
-        for (int l = 1; l < m; ++l) {
-          inner *= p.factors[l];
-        }
-        for (int l = 0; l < m; ++l) {
-          Expr part = ir::FloorDiv(e, inner);
-          if (l > 0) {
-            part = ir::Mod(part, p.factors[l]);
-          }
-          parts.push_back(part);
-          if (l + 1 < m) {
-            inner /= p.factors[l + 1];
-          }
-        }
-        idx.erase(idx.begin() + p.dim);
-        idx.insert(idx.begin() + p.dim, parts.begin(), parts.end());
-        pat.erase(pat.begin() + p.dim);
-        pat.insert(pat.begin() + p.dim, static_cast<size_t>(m), std::nullopt);
-        break;
-      }
-      case PrimitiveKind::kReorder: {
-        std::vector<Expr> out(rank);
-        std::vector<std::optional<WindowPattern>> pout(rank);
-        for (int d = 0; d < rank; ++d) {
-          out[d] = idx[p.perm[d]];
-          pout[d] = pat[p.perm[d]];
-        }
-        idx = std::move(out);
-        pat = std::move(pout);
-        break;
-      }
-      case PrimitiveKind::kFuse: {
-        Expr fused = idx[p.dim];
-        for (int i = 1; i < p.num_dims; ++i) {
-          fused = ir::Add(ir::Mul(fused, shape[p.dim + i]), idx[p.dim + i]);
-        }
-        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + p.num_dims);
-        idx.insert(idx.begin() + p.dim, fused);
-        pat.erase(pat.begin() + p.dim, pat.begin() + p.dim + p.num_dims);
-        pat.insert(pat.begin() + p.dim, std::nullopt);
-        break;
-      }
-      case PrimitiveKind::kUnfold: {
-        int64_t extent = shape[p.dim];
-        int64_t tiles = UnfoldTiles(extent, p.tile_size, p.stride);
-        Expr tile;
-        Expr offset;
-        const auto& wp = pat[p.dim];
-        bool window_form = false;
-        if (wp.has_value() && (p.tile_size - wp->window_size) % wp->stride == 0) {
-          // Eq. (1): windows per tile; valid when tiles advance by whole
-          // windows so a window never straddles tiles.
-          int64_t wpt = (p.tile_size - wp->window_size) / wp->stride + 1;
-          if (p.stride == wp->stride * wpt) {
-            tile = ir::FloorDiv(wp->base, wpt);
-            offset = ir::Add(ir::Mul(ir::Mod(wp->base, wpt), wp->stride), wp->window);
-            window_form = true;
-          }
-        }
-        if (!window_form) {
-          // Canonical representative: the copy in the last tile containing
-          // the element with the smallest tile index.
-          Expr e = idx[p.dim];
-          tile = ir::Min(ir::FloorDiv(e, p.stride), ir::Const(tiles - 1));
-          offset = ir::Sub(e, ir::Mul(tile, p.stride));
-        }
-        idx[p.dim] = tile;
-        idx.insert(idx.begin() + p.dim + 1, offset);
-        pat[p.dim] = std::nullopt;
-        pat.insert(pat.begin() + p.dim + 1, std::nullopt);
-        break;
-      }
-      case PrimitiveKind::kPad: {
-        idx[p.dim] = ir::Add(idx[p.dim], p.pad_before);
-        if (pat[p.dim].has_value()) {
-          // Shifting the base keeps the window decomposition valid.
-          auto wp = *pat[p.dim];
-          if (p.pad_before % wp.stride == 0) {
-            wp.base = ir::Add(wp.base, p.pad_before / wp.stride);
-            pat[p.dim] = wp;
-          } else {
-            pat[p.dim] = std::nullopt;
-          }
-        }
-        break;
-      }
-      case PrimitiveKind::kStoreAt: {
-        // Reads of the destination tensor are unchanged; the attached source
-        // occupies the extra trailing slice and is rewritten by the lowering.
-        break;
-      }
-    }
-    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
-  }
-  return idx;
+  // Thin deprecated wrapper: the relation carries the access-map emission
+  // (bit-identical to the historical in-place walk; see relation.cc).
+  auto rel = LayoutRelation::FromSeq(*this, original_shape);
+  ALT_RETURN_IF_ERROR(rel.status());
+  return rel->MapRead(indices, patterns);
 }
 
 StatusOr<std::vector<Expr>> LayoutSeq::MapInverse(const std::vector<int64_t>& original_shape,
                                                   const std::vector<Expr>& new_indices) const {
-  // Record the shape before each primitive.
-  std::vector<std::vector<int64_t>> shapes;
-  std::vector<int64_t> shape = original_shape;
-  for (const auto& p : prims_) {
-    shapes.push_back(shape);
-    ALT_RETURN_IF_ERROR(ApplyPrimitiveToShape(p, shape));
-  }
-
-  std::vector<Expr> idx = new_indices;
-  for (int pi = static_cast<int>(prims_.size()) - 1; pi >= 0; --pi) {
-    const Primitive& p = prims_[pi];
-    const std::vector<int64_t>& before = shapes[pi];
-    switch (p.kind) {
-      case PrimitiveKind::kSplit: {
-        int m = static_cast<int>(p.factors.size());
-        Expr combined = idx[p.dim];
-        for (int l = 1; l < m; ++l) {
-          combined = ir::Add(ir::Mul(combined, p.factors[l]), idx[p.dim + l]);
-        }
-        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + m);
-        idx.insert(idx.begin() + p.dim, combined);
-        break;
-      }
-      case PrimitiveKind::kReorder: {
-        int rank = static_cast<int>(p.perm.size());
-        std::vector<Expr> out(rank);
-        for (int d = 0; d < rank; ++d) {
-          out[p.perm[d]] = idx[d];
-        }
-        idx = std::move(out);
-        break;
-      }
-      case PrimitiveKind::kFuse: {
-        Expr fused = idx[p.dim];
-        std::vector<Expr> parts(p.num_dims);
-        int64_t inner = 1;
-        for (int i = 1; i < p.num_dims; ++i) {
-          inner *= before[p.dim + i];
-        }
-        for (int i = 0; i < p.num_dims; ++i) {
-          Expr part = ir::FloorDiv(fused, inner);
-          if (i > 0) {
-            part = ir::Mod(part, before[p.dim + i]);
-          }
-          parts[i] = part;
-          if (i + 1 < p.num_dims) {
-            inner /= before[p.dim + i + 1];
-          }
-        }
-        idx.erase(idx.begin() + p.dim);
-        idx.insert(idx.begin() + p.dim, parts.begin(), parts.end());
-        break;
-      }
-      case PrimitiveKind::kUnfold: {
-        Expr original = ir::Add(ir::Mul(idx[p.dim], p.stride), idx[p.dim + 1]);
-        idx.erase(idx.begin() + p.dim, idx.begin() + p.dim + 2);
-        idx.insert(idx.begin() + p.dim, original);
-        break;
-      }
-      case PrimitiveKind::kPad: {
-        idx[p.dim] = ir::Sub(idx[p.dim], p.pad_before);
-        break;
-      }
-      case PrimitiveKind::kStoreAt:
-        break;
-    }
-  }
-  return idx;
+  // Thin deprecated wrapper over LayoutRelation::MapInverse.
+  auto rel = LayoutRelation::FromSeq(*this, original_shape);
+  ALT_RETURN_IF_ERROR(rel.status());
+  return rel->MapInverse(new_indices);
 }
 
 StatusOr<LayoutSeq> LayoutSeq::Inverted(const std::vector<int64_t>& original_shape) const {

@@ -91,6 +91,8 @@ class LayoutSeq {
   // (e.g. split factors do not divide the extent).
   Status ApplyToShape(std::vector<int64_t>& shape) const;
 
+  // DEPRECATED: thin wrapper over LayoutRelation::MapRead (layout/relation.h,
+  // the first-class relation API new call sites should construct directly).
   // Forward access rewrite: given the indices a consumer uses against the
   // ORIGINAL layout (optionally annotated with window patterns, parallel to
   // the index vector), returns indices into the NEW layout.
@@ -98,6 +100,7 @@ class LayoutSeq {
       const std::vector<int64_t>& original_shape, const std::vector<ir::Expr>& indices,
       const std::vector<std::optional<WindowPattern>>& patterns = {}) const;
 
+  // DEPRECATED: thin wrapper over LayoutRelation::MapInverse.
   // Inverse access map: given loop vars / exprs over the NEW layout dims,
   // reconstructs the canonical (original-layout) indices. Sequences with
   // unfold are inverted via old = tile * S + offset (any duplicate maps back
@@ -113,7 +116,10 @@ class LayoutSeq {
   // drop duplicated or padded data and are not shape-preserving rewrites.
   StatusOr<LayoutSeq> Inverted(const std::vector<int64_t>& original_shape) const;
 
-  // RL state for this sequence (paper §5.2.1): concatenated primitive states.
+  // DEPRECATED compat shim: raw per-primitive RL state (paper §5.2.1),
+  // order-sensitive — two sequences denoting the same relation can encode
+  // differently. The tuner feeds the agent LayoutRelation::CanonicalState()
+  // instead; this remains for the shim test and legacy callers.
   std::vector<double> StateVector() const;
 
   std::string ToString() const;

@@ -1,0 +1,192 @@
+// First-class layout relations (layout algebra v2).
+//
+// A LayoutRelation is the semantic object a primitive sequence (§4.1) merely
+// spells: an invertible index relation between a tensor's canonical
+// (logical) coordinates and its physical (laid-out) coordinates. Where
+// LayoutSeq is syntax — an ordered list of rewrite steps — the relation is
+// the function those steps denote, normalized so two sequences denoting the
+// same relation compare equal (`Fingerprint()`), compose (`Compose`), invert
+// (`Inverse`), and answer coalescing / divisibility / stride queries without
+// primitive-kind dispatch.
+//
+// Canonical form. The inverse map physical → canonical of every primitive
+// sequence is a pure quasi-affine function (only the *forward* unfold rewrite
+// needs a Min clamp), so the relation is normalized into a mixed-radix "digit
+// form": each physical dimension carries an ordered digit list, each digit
+// extracting floor(value / radix) % extent and contributing
+// `extent × stride` canonical units of one canonical dimension, plus a
+// per-canonical-dimension offset (padding shift). Under this form:
+//
+//   * split-then-fuse cancels, split(d,{a,b,c}) == split(d,{a,bc});split(...)
+//     and identity reorders vanish — adjacent digits with matching strides
+//     merge and unit digits drop;
+//   * bijectivity is a radix check (every canonical dim exactly tiled, no
+//     offsets, no data expansion), and `Inverse` is a digit transpose;
+//   * composition substitutes one relation's digit decomposition into the
+//     other's extractions, splitting digits at aligned radix boundaries.
+//
+// Sequences whose advanced primitives act on a dimension that is not a
+// single merged digit (e.g. pad after an interleaving fuse) fall back to an
+// *opaque* relation: access maps, shape transforms and data-expansion flags
+// stay exact, but the fingerprint hashes the step serialization instead of
+// the digit form, so only textually identical sequences deduplicate.
+//
+// Access-map emission is bit-identical to the legacy LayoutSeq path by
+// construction: the relation keeps the originating steps and emits
+// MapRead / MapInverse expressions with the exact historical algorithm
+// (gated by the randomized differential corpus in layout_relation_test).
+// The normalized form feeds only the algebra: Compose / Inverse /
+// Fingerprint / queries / CanonicalState.
+
+#ifndef ALT_LAYOUT_RELATION_H_
+#define ALT_LAYOUT_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/layout/primitive.h"
+
+namespace alt::layout {
+
+class LayoutRelation {
+ public:
+  // One mixed-radix digit of a physical dimension: selects
+  // floor(canonical[target] / stride) mod extent (reading the relation
+  // inversely: contributes digit_value * stride to canonical[target]).
+  struct Digit {
+    int target = -1;
+    int64_t extent = 1;
+    int64_t stride = 1;
+  };
+
+  struct PhysDim {
+    int64_t extent = 1;
+    std::vector<Digit> digits;  // outer-to-inner mixed radix; empty: constant
+  };
+
+  // One overlapped-tiling (unfold, S < B) term of the relation: physical dims
+  // `phys_tile_dim` / `phys_offset_dim` jointly cover canonical dim
+  // `canonical_dim` as tile * stride + offset. This is the precise metadata
+  // behind the single-clamp normal form Min(FloorDiv(e, stride), tiles - 1)
+  // the forward access rewrite emits, which ir::AffineAnalyzer
+  // ::DecomposeClamped consumes exactly (see src/ir/affine.h).
+  struct UnfoldAccess {
+    int phys_tile_dim = -1;
+    int phys_offset_dim = -1;
+    int canonical_dim = -1;
+    int64_t tile_size = 0;
+    int64_t stride = 0;
+    int64_t tiles = 0;
+  };
+
+  // Builds the relation denoted by `seq` over `canonical_shape`. Fails
+  // exactly when the sequence is inapplicable to the shape (same statuses as
+  // LayoutSeq::ApplyToShape).
+  static StatusOr<LayoutRelation> FromSeq(const LayoutSeq& seq,
+                                          std::vector<int64_t> canonical_shape);
+
+  static LayoutRelation Identity(std::vector<int64_t> shape);
+
+  const std::vector<int64_t>& canonical_shape() const { return canonical_shape_; }
+  const std::vector<int64_t>& physical_shape() const { return physical_shape_; }
+  // The originating primitive steps (provenance; drives access-map emission).
+  const LayoutSeq& steps() const { return steps_; }
+
+  // Forward shape transform: the canonical shape mapped through the relation.
+  const std::vector<int64_t>& ApplyToShape() const { return physical_shape_; }
+
+  // Forward access rewrite / inverse access map, bit-identical to the legacy
+  // LayoutSeq::MapRead / MapInverse (which now delegate here).
+  StatusOr<std::vector<ir::Expr>> MapRead(
+      const std::vector<ir::Expr>& indices,
+      const std::vector<std::optional<WindowPattern>>& patterns = {}) const;
+  StatusOr<std::vector<ir::Expr>> MapInverse(
+      const std::vector<ir::Expr>& physical_indices) const;
+
+  // True when the normalized digit form represents the relation exactly;
+  // false for opaque fallbacks (advanced primitive on a compound dimension).
+  bool exact() const { return !opaque_; }
+
+  // Data expansion (paper §4.2 constraint 1): overlapping unfold (S < B),
+  // nonzero pad, or store_at duplicates/extends data, so propagation must
+  // stop. Matches LayoutSeq::HasNontrivialAdvanced exactly.
+  bool ExpandsData() const { return expands_data_; }
+
+  // True when the relation is a bijection between canonical and physical
+  // index space: every canonical dimension is exactly tiled by its digits,
+  // no offsets, no data expansion. Bijective relations invert.
+  bool IsBijective() const;
+
+  bool IsIdentity() const;
+
+  // The inverse relation (physical → canonical). Defined iff IsBijective();
+  // the result carries a synthesized primitive realization so its access
+  // maps emit through the same legacy path.
+  StatusOr<LayoutRelation> Inverse() const;
+
+  // Relation composition: `second ∘ first` — `first` maps canonical → mid,
+  // `second` maps mid → physical (second.canonical_shape() must equal
+  // first.physical_shape()). Exact when second's digit boundaries align with
+  // first's radix decomposition; otherwise the result is the step
+  // concatenation with an opaque semantic core.
+  static StatusOr<LayoutRelation> Compose(const LayoutRelation& second,
+                                          const LayoutRelation& first);
+
+  // Stable 64-bit fingerprint of the normalized relation: equal for any two
+  // primitive sequences denoting the same relation (exact case), equal only
+  // for identical step serializations in the opaque case. Includes the
+  // canonical shape (parameters are shape-dependent).
+  uint64_t Fingerprint() const;
+
+  // --- Coalescing / divisibility / stride queries (exact relations). ---
+
+  // Physical row-major stride at which canonical dimension `dim` advances in
+  // its unit-stride digit (0 when the dim has no unit digit or the relation
+  // is opaque). The innermost-loop coalescing question: stride 1 means
+  // consecutive canonical elements along `dim` are physically adjacent.
+  int64_t InnerStrideOf(int dim) const;
+
+  // Length of the physically contiguous run along canonical dimension `dim`:
+  // how many consecutive canonical elements land in consecutive physical
+  // slots before the layout jumps. 1 when scattered, extent when dense.
+  int64_t CoalescedRun(int dim) const;
+
+  // The factors canonical dimension `dim` is partitioned into, innermost
+  // first (the divisibility structure a vectorizer / tiler must respect).
+  std::vector<int64_t> DigitExtents(int dim) const;
+
+  // Overlapped-tiling terms (see UnfoldAccess). Empty for bijective layouts.
+  const std::vector<UnfoldAccess>& UnfoldAccesses() const { return unfolds_; }
+
+  // Relation-derived RL state (paper §5.2.1): the legacy per-primitive state
+  // of the *canonical synthesized sequence*, so any two sequences denoting
+  // the same relation feed the PPO agent identical states. Opaque relations
+  // fall back to the raw step state.
+  std::vector<double> CanonicalState() const;
+
+  std::string ToString() const;
+
+ private:
+  LayoutRelation() = default;
+
+  // Synthesizes a primitive sequence realizing the normalized digit form
+  // (bijective relations only): per-dim splits, one reorder, per-dim fuses.
+  StatusOr<LayoutSeq> SynthesizeSteps() const;
+
+  std::vector<int64_t> canonical_shape_;
+  std::vector<int64_t> physical_shape_;
+  LayoutSeq steps_;
+
+  std::vector<PhysDim> dims_;     // normalized digit form (exact case)
+  std::vector<int64_t> offsets_;  // per canonical dim: canonical = Σ digits − offset
+  std::vector<UnfoldAccess> unfolds_;
+  bool opaque_ = false;
+  bool expands_data_ = false;
+  bool has_store_at_ = false;
+};
+
+}  // namespace alt::layout
+
+#endif  // ALT_LAYOUT_RELATION_H_

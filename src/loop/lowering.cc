@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/ir/eval.h"
+#include "src/layout/relation.h"
 #include "src/support/logging.h"
 
 namespace alt::loop {
@@ -328,8 +329,10 @@ bool CanFuse(const Graph& g, const LayoutAssignment& assignment, int producer_te
     return false;
   }
   // The fusion-conflict rule (§4.2): loop nests align only when the physical
-  // layouts coincide.
-  return graph::SameLayout(assignment.Get(producer_tensor), assignment.Get(consumer.output));
+  // layouts coincide — compared semantically, so equivalent spellings of one
+  // relation still fuse.
+  return graph::SameLayout(assignment.Get(producer_tensor), assignment.Get(consumer.output),
+                           g.tensor(producer_tensor).shape);
 }
 
 }  // namespace
@@ -505,12 +508,16 @@ StatusOr<ir::Program> LowerGroup(const Graph& graph, const LayoutAssignment& ass
     red_idx[k] = ir::Substitute(e, zero);
   }
 
-  // --- canonical indices via the inverse sequence (S_Y^{-1}) ---
+  // --- canonical indices via the inverse relation (S_Y^{-1}) ---
   std::vector<Expr> canonical;
   if (out_seq.empty()) {
     canonical = phys_idx;
   } else {
-    auto inv = out_seq.MapInverse(body.spatial_extents, phys_idx);
+    auto out_rel = layout::LayoutRelation::FromSeq(out_seq, body.spatial_extents);
+    if (!out_rel.ok()) {
+      return out_rel.status();
+    }
+    auto inv = out_rel->MapInverse(phys_idx);
     if (!inv.ok()) {
       return inv.status();
     }
@@ -602,10 +609,13 @@ StatusOr<ir::Program> LowerGroup(const Graph& graph, const LayoutAssignment& ass
           }
         }
       }
-      const auto& canon_shape = graph.tensor(tid).shape;
+      auto rel = layout::LayoutRelation::FromSeq(seq, graph.tensor(tid).shape);
+      if (!rel.ok()) {
+        return rel.status();
+      }
       out = ir::RewriteLoadsOfTensor(out, tid,
                                      [&](const std::vector<Expr>& idx) -> std::vector<Expr> {
-                                       auto mapped = seq.MapRead(canon_shape, idx, pats);
+                                       auto mapped = rel->MapRead(idx, pats);
                                        if (!mapped.ok()) {
                                          failed = mapped.status();
                                          return idx;

@@ -446,6 +446,15 @@ struct AffineBuilder {
     return id;
   }
 
+  // A load whose offset needs the unfold clamp split (ir::DecomposeClamped):
+  // affine on each side of the clamp boundary, so the leaf becomes a guarded
+  // two-branch kernel instead of degrading to per-element evaluation.
+  struct ClampedPending {
+    ir::ClampedForm cf;
+    float* data = nullptr;
+    int64_t size = 0;
+  };
+
   std::optional<Pending> Analyze(int tensor_id, const std::vector<ir::Expr>& indices,
                                  const ir::AffineAnalyzer& az) {
     const ir::BufferDecl* decl = compiler->program->FindBuffer(tensor_id);
@@ -465,6 +474,28 @@ struct AffineBuilder {
       return std::nullopt;
     }
     return Pending{std::move(*f), it->second.buffer->data(), it->second.size};
+  }
+
+  std::optional<ClampedPending> AnalyzeClamped(int tensor_id,
+                                               const std::vector<ir::Expr>& indices,
+                                               const ir::AffineAnalyzer& az) {
+    const ir::BufferDecl* decl = compiler->program->FindBuffer(tensor_id);
+    if (decl == nullptr) {
+      return std::nullopt;
+    }
+    auto strides = ir::RowMajorStrides(decl->tensor.shape);
+    if (indices.size() != strides.size()) {
+      return std::nullopt;
+    }
+    auto cf = az.DecomposeClamped(LinearIndexExpr(indices, strides));
+    if (!cf) {
+      return std::nullopt;
+    }
+    auto it = compiler->bindings->find(tensor_id);
+    if (it == compiler->bindings->end()) {
+      return std::nullopt;
+    }
+    return ClampedPending{std::move(*cf), it->second.buffer->data(), it->second.size};
   }
 
   AffineAccess Commit(const Pending& p, bool consumed) {
@@ -532,6 +563,89 @@ struct AffineBuilder {
           return fill;
         }
         return br;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // Classification of a store value whose only obstruction is one clamped
+  // load: yields the exact then/else kernel pair plus the clamp guard. Covers
+  // the shapes a clamped unfold read appears in — a bare copy and a product
+  // with an immediate or affine co-operand.
+  struct PendingClamp {
+    PendingBranch then_b, else_b;
+    ir::AffineForm guard;
+    int64_t bound = 0;
+  };
+
+  std::optional<PendingClamp> ClassifyClamped(const ir::Val& v,
+                                              const ir::AffineAnalyzer& az) {
+    auto split_load = [&](const ir::Val& o) -> std::optional<ClampedPending> {
+      if (o->kind != ir::ValKind::kLoad || Analyze(o->tensor_id, o->indices, az)) {
+        return std::nullopt;
+      }
+      return AnalyzeClamped(o->tensor_id, o->indices, az);
+    };
+    switch (v->kind) {
+      case ir::ValKind::kLoad: {
+        auto cp = split_load(v);
+        if (!cp) {
+          return std::nullopt;
+        }
+        PendingClamp pc;
+        pc.guard = cp->cf.guard;
+        pc.bound = cp->cf.bound;
+        pc.then_b.kind = KernelKind::kCopy;
+        pc.then_b.a = Pending{cp->cf.then_form, cp->data, cp->size};
+        pc.else_b.kind = KernelKind::kCopy;
+        pc.else_b.a = Pending{cp->cf.else_form, cp->data, cp->size};
+        return pc;
+      }
+      case ir::ValKind::kMul: {
+        if (!v->a || !v->b) {
+          return std::nullopt;
+        }
+        PendingClamp pc;
+        pc.then_b.kind = pc.else_b.kind = KernelKind::kMulAcc;
+        bool have_clamp = false;
+        auto operand = [&](const ir::Val& o, bool* is_imm, double* imm_t, double* imm_e,
+                           std::optional<Pending>* then_acc,
+                           std::optional<Pending>* else_acc) {
+          if (o->kind == ir::ValKind::kImm) {
+            *is_imm = true;
+            *imm_t = *imm_e = o->imm;
+            return true;
+          }
+          if (o->kind != ir::ValKind::kLoad) {
+            return false;
+          }
+          if (auto p = Analyze(o->tensor_id, o->indices, az)) {
+            *then_acc = *p;
+            *else_acc = std::move(*p);
+            return true;
+          }
+          auto cp = split_load(o);
+          if (!cp || have_clamp) {
+            return false;  // unresolved residue, or a second clamp
+          }
+          have_clamp = true;
+          pc.guard = cp->cf.guard;
+          pc.bound = cp->cf.bound;
+          *then_acc = Pending{cp->cf.then_form, cp->data, cp->size};
+          *else_acc = Pending{cp->cf.else_form, cp->data, cp->size};
+          return true;
+        };
+        if (!operand(v->a, &pc.then_b.a_is_imm, &pc.then_b.imm_a, &pc.else_b.imm_a,
+                     &pc.then_b.a, &pc.else_b.a) ||
+            !operand(v->b, &pc.then_b.b_is_imm, &pc.then_b.imm_b, &pc.else_b.imm_b,
+                     &pc.then_b.b, &pc.else_b.b) ||
+            !have_clamp) {
+          return std::nullopt;
+        }
+        pc.else_b.a_is_imm = pc.then_b.a_is_imm;
+        pc.else_b.b_is_imm = pc.then_b.b_is_imm;
+        return pc;
       }
       default:
         return std::nullopt;
@@ -621,6 +735,18 @@ struct AffineBuilder {
       leaf.else_k = BranchFor(sel->else_v, az, consumed);
     } else if (auto k = Classify(st->value, az)) {
       leaf.then_k = CommitBranch(std::move(*k), consumed);
+    } else if (auto ck = ClassifyClamped(st->value, az)) {
+      // Unfold clamp split: the load is affine on each side of the boundary
+      // g <= bound, so run it as a guarded two-branch kernel with the guard
+      // interval [min(g), bound + 1) — then where the clamp is slack, else
+      // where it binds (both agree at g == bound).
+      leaf.guarded = true;
+      int64_t cv = consumed ? ck->guard.coeffs.back() : 0;
+      leaf.conds.push_back({NewAcc(ck->guard, consumed), cv,
+                            ck->guard.MinValue(az.loops()), ck->bound + 1,
+                            /*modulus=*/1, /*rem=*/0});
+      leaf.then_k = CommitBranch(std::move(ck->then_b), consumed);
+      leaf.else_k = CommitBranch(std::move(ck->else_b), consumed);
     } else {
       leaf.then_k.kind = KernelKind::kEval;
       leaf.then_k.eval = &pstore->store.value;

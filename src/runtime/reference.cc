@@ -6,6 +6,7 @@
 
 #include "src/graph/layout_assignment.h"
 #include "src/ir/eval.h"
+#include "src/layout/relation.h"
 
 namespace alt::runtime {
 
@@ -351,8 +352,11 @@ StatusOr<ConversionPlan> BuildConversionPlan(const std::vector<int64_t>& canonic
     plan.physical_size = plan.canonical_size;
     return plan;
   }
-  std::vector<int64_t> phys_shape = canonical_shape;
-  ALT_RETURN_IF_ERROR(seq.ApplyToShape(phys_shape));
+  auto rel = layout::LayoutRelation::FromSeq(seq, canonical_shape);
+  if (!rel.ok()) {
+    return rel.status();
+  }
+  const std::vector<int64_t>& phys_shape = rel->ApplyToShape();
 
   // Fresh vars over physical dims; inverse gives canonical index exprs.
   std::vector<ir::Expr> vars;
@@ -361,7 +365,7 @@ StatusOr<ConversionPlan> BuildConversionPlan(const std::vector<int64_t>& canonic
     vars.push_back(ir::MakeVar("p" + std::to_string(d)));
     slots.AddVar(vars.back()->var_id);
   }
-  auto inv = seq.MapInverse(canonical_shape, vars);
+  auto inv = rel->MapInverse(vars);
   if (!inv.ok()) {
     return inv.status();
   }
